@@ -1,0 +1,184 @@
+// Ablation studies for the design choices DESIGN.md §5 calls out (these go
+// beyond the paper's own analysis):
+//
+//   (1) Memory-augmented optimization on/off (M_R / M_vR / M_CP, paper
+//       Section VI-B): Meta with memories vs. plain first-order MAML.
+//   (2) UIS feature expansion degree l (paper Section VI-A; default
+//       0.1 * k_u): sparser or denser v_R bits.
+//   (3) FP/FN optimizer expansion extents N_sup / N_sub (paper Section
+//       VII-B; defaults 30% / 10% of k_u).
+//
+// Expected shapes: memories help modestly and never hurt much; accuracy is
+// concave in l (too sparse starves v_R, too dense blurs it); Meta* is
+// robust over a range of N_sup/N_sub but degrades when the outer region is
+// too tight (recall loss) or the inner region too aggressive (precision
+// loss).
+
+#include "bench_common.h"
+#include "eval/report.h"
+
+namespace lte::bench {
+namespace {
+
+int64_t ScaledPsi(int64_t paper_psi) {
+  return std::max<int64_t>(3, paper_psi * GetScale().k_u / 100);
+}
+
+std::vector<eval::GroundTruthUir> TestUirs(eval::ExperimentRunner* runner,
+                                           int64_t count) {
+  std::vector<eval::GroundTruthUir> uirs;
+  for (int64_t i = 0; i < count; ++i) {
+    uirs.push_back(runner->GenerateUir(
+        {"M1", 4, ScaledPsi(20)},
+        std::min<int64_t>(2,
+                          static_cast<int64_t>(runner->subspaces().size()))));
+  }
+  return uirs;
+}
+
+void MemoryAblation() {
+  const Scale scale = GetScale();
+  const int64_t b30 = scale.budgets.size() > 1 ? scale.budgets[1] : 30;
+  eval::TextTable table({"variant", "Meta F1", "Meta* F1"});
+  for (const bool memory : {true, false}) {
+    Rng rng(21);
+    eval::RunnerOptions opt = BaseRunnerOptions(4, ScaledPsi(20), 211);
+    opt.explorer.learner.use_memory = memory;
+    eval::ExperimentRunner runner(data::MakeSdssLike(scale.sdss_rows, &rng),
+                                  SdssSubspaces(), opt);
+    if (!runner.Init().ok()) continue;
+    const auto uirs = TestUirs(&runner, 2 * scale.uirs_per_config);
+    double meta = 0.0;
+    double meta_star = 0.0;
+    if (!runner.MeanF1(eval::Method::kMeta, uirs, b30, &meta).ok()) meta = -1;
+    if (!runner.MeanF1(eval::Method::kMetaStar, uirs, b30, &meta_star).ok()) {
+      meta_star = -1;
+    }
+    table.AddRow(memory ? "with memories (MAMO-style)" : "plain FOMAML",
+                 {meta, meta_star});
+  }
+  std::printf("\nAblation 1: memory-augmented optimization (B=%lld)\n",
+              static_cast<long long>(b30));
+  table.Print();
+}
+
+void ExpansionAblation() {
+  const Scale scale = GetScale();
+  const int64_t b30 = scale.budgets.size() > 1 ? scale.budgets[1] : 30;
+  // l as a fraction of k_u; the paper's default is 0.1.
+  const std::vector<double> fractions = {0.02, 0.05, 0.1, 0.2, 0.4};
+  std::vector<std::string> header = {"method"};
+  for (double f : fractions) {
+    header.push_back("l=" + eval::FormatDouble(f, 2) + "*k_u");
+  }
+  eval::TextTable table(header);
+  std::vector<double> row;
+  for (double f : fractions) {
+    Rng rng(22);
+    eval::RunnerOptions opt = BaseRunnerOptions(4, ScaledPsi(20), 221);
+    opt.explorer.task_gen.expansion_l = std::max<int64_t>(
+        1, static_cast<int64_t>(f * static_cast<double>(scale.k_u)));
+    eval::ExperimentRunner runner(data::MakeSdssLike(scale.sdss_rows, &rng),
+                                  SdssSubspaces(), opt);
+    if (!runner.Init().ok()) {
+      row.push_back(-1);
+      continue;
+    }
+    const auto uirs = TestUirs(&runner, 2 * scale.uirs_per_config);
+    double f1 = 0.0;
+    if (!runner.MeanF1(eval::Method::kMeta, uirs, b30, &f1).ok()) f1 = -1;
+    row.push_back(f1);
+  }
+  table.AddRow("Meta", row);
+  std::printf("\nAblation 2: UIS feature expansion degree l (B=%lld)\n",
+              static_cast<long long>(b30));
+  table.Print();
+}
+
+void FpFnAblation() {
+  const Scale scale = GetScale();
+  const int64_t b30 = scale.budgets.size() > 1 ? scale.budgets[1] : 30;
+  struct Setting {
+    double outer;
+    double inner;
+  };
+  const std::vector<Setting> settings = {
+      {0.10, 0.05}, {0.20, 0.05}, {0.30, 0.10}, {0.40, 0.15}, {0.60, 0.30}};
+  eval::TextTable table({"N_sup", "N_sub", "Meta* F1", "precision", "recall"});
+  for (const Setting& s : settings) {
+    Rng rng(23);
+    eval::RunnerOptions opt = BaseRunnerOptions(4, ScaledPsi(20), 231);
+    opt.explorer.fpfn.outer_fraction = s.outer;
+    opt.explorer.fpfn.inner_fraction = s.inner;
+    eval::ExperimentRunner runner(data::MakeSdssLike(scale.sdss_rows, &rng),
+                                  SdssSubspaces(), opt);
+    if (!runner.Init().ok()) continue;
+    const auto uirs = TestUirs(&runner, scale.uirs_per_config);
+    double f1 = 0.0;
+    double precision = 0.0;
+    double recall = 0.0;
+    int64_t n = 0;
+    for (const auto& uir : uirs) {
+      eval::ExperimentResult res;
+      if (!runner.Run(eval::Method::kMetaStar, uir, b30, &res).ok()) continue;
+      f1 += res.f1;
+      precision += res.precision;
+      recall += res.recall;
+      ++n;
+    }
+    if (n == 0) continue;
+    table.AddRow(eval::FormatDouble(s.outer, 2) + "*k_u",
+                 {s.inner, f1 / n, precision / n, recall / n});
+  }
+  std::printf("\nAblation 3: FP/FN optimizer expansions (B=%lld)\n",
+              static_cast<long long>(b30));
+  table.Print();
+}
+
+void AlgorithmAblation() {
+  // The paper claims the framework is orthogonal to the MAML-family
+  // algorithm (Section VI-B): FOMAML vs. Reptile under identical task
+  // generation, classifier, and memories.
+  const Scale scale = GetScale();
+  const int64_t b30 = scale.budgets.size() > 1 ? scale.budgets[1] : 30;
+  eval::TextTable table({"algorithm", "Meta F1", "Meta* F1"});
+  for (const bool reptile : {false, true}) {
+    Rng rng(24);
+    eval::RunnerOptions opt = BaseRunnerOptions(4, ScaledPsi(20), 241);
+    opt.explorer.trainer.algorithm = reptile
+                                         ? core::MetaAlgorithm::kReptile
+                                         : core::MetaAlgorithm::kFomaml;
+    if (reptile) opt.explorer.trainer.global_lr = 0.5;
+    eval::ExperimentRunner runner(data::MakeSdssLike(scale.sdss_rows, &rng),
+                                  SdssSubspaces(), opt);
+    if (!runner.Init().ok()) continue;
+    const auto uirs = TestUirs(&runner, 2 * scale.uirs_per_config);
+    double meta = 0.0;
+    double meta_star = 0.0;
+    if (!runner.MeanF1(eval::Method::kMeta, uirs, b30, &meta).ok()) meta = -1;
+    if (!runner.MeanF1(eval::Method::kMetaStar, uirs, b30, &meta_star).ok()) {
+      meta_star = -1;
+    }
+    table.AddRow(reptile ? "Reptile" : "FOMAML", {meta, meta_star});
+  }
+  std::printf("\nAblation 4: meta-learning algorithm (B=%lld)\n",
+              static_cast<long long>(b30));
+  table.Print();
+}
+
+void Run() {
+  PrintHeader("Ablations: memory augmentation, feature expansion, FP/FN "
+              "optimizer, meta-algorithm");
+  MemoryAblation();
+  ExpansionAblation();
+  FpFnAblation();
+  AlgorithmAblation();
+}
+
+}  // namespace
+}  // namespace lte::bench
+
+int main() {
+  lte::bench::Run();
+  return 0;
+}

@@ -1,0 +1,120 @@
+#ifndef LTE_BENCH_BENCH_COMMON_H_
+#define LTE_BENCH_BENCH_COMMON_H_
+
+// Shared configuration for the paper-reproduction benchmark binaries.
+//
+// Every binary prints the same rows/series the paper's table or figure
+// reports. By default the workload is scaled down (smaller datasets, fewer
+// meta-tasks, fewer test UIRs) so the whole suite finishes in minutes on a
+// laptop; setting LTE_BENCH_FULL=1 in the environment switches to
+// paper-scale parameters. The *shape* of the results (who wins, by roughly
+// what factor, where crossovers fall) is preserved at either scale; see
+// EXPERIMENTS.md for paper-vs-measured numbers.
+
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/subspace.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+
+namespace lte::bench {
+
+inline bool FullScale() {
+  const char* env = std::getenv("LTE_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+struct Scale {
+  int64_t sdss_rows;
+  int64_t car_rows;
+  int64_t num_meta_tasks;
+  int64_t eval_rows;
+  int64_t pool_rows;
+  /// Test UIRs averaged per configuration point.
+  int64_t uirs_per_config;
+  int64_t k_u;
+  int64_t k_q;
+  int64_t embedding;
+  int64_t epochs;
+  std::vector<int64_t> budgets;
+};
+
+inline Scale GetScale() {
+  if (FullScale()) {
+    // Paper Section VIII-A parameters.
+    return Scale{100000, 50000, 15000, 5000, 2000, 20,
+                 100,    200,   100,   4,    {30, 45, 60, 75, 90, 105}};
+  }
+  return Scale{12000, 8000, 150, 800, 500, 3,
+               50,    60,   24,  20,  {15, 30, 45}};
+}
+
+/// The SDSS subspace decomposition used throughout: 4 fixed 2-D subspaces
+/// over the 8 photometric attributes.
+inline std::vector<data::Subspace> SdssSubspaces() {
+  return {data::Subspace{{0, 1}}, data::Subspace{{2, 3}},
+          data::Subspace{{4, 5}}, data::Subspace{{6, 7}}};
+}
+
+/// CAR: 5 attributes -> two 2-D subspaces and one 1-D subspace (exercising
+/// the interval-geometry path).
+inline std::vector<data::Subspace> CarSubspaces() {
+  return {data::Subspace{{0, 1}}, data::Subspace{{2, 3}},
+          data::Subspace{{4}}};
+}
+
+/// Runner options shared by the benchmarks. `alpha`/`psi` configure
+/// meta-task generation: the paper uses (1, 50) for the convex-UIR
+/// comparisons of Section VIII-B and (4, 20) for the generalized-UIR
+/// studies of Section VIII-C (scaled to k_u here).
+inline eval::RunnerOptions BaseRunnerOptions(int64_t alpha, int64_t psi,
+                                             uint64_t seed = 42) {
+  const Scale s = GetScale();
+  eval::RunnerOptions opt;
+  opt.explorer.task_gen.k_u = s.k_u;
+  opt.explorer.task_gen.k_q = s.k_q;
+  opt.explorer.task_gen.delta = 5;
+  opt.explorer.task_gen.alpha = alpha;
+  opt.explorer.task_gen.psi = psi;
+  opt.explorer.learner.embedding_size = s.embedding;
+  opt.explorer.learner.clf_hidden = {s.embedding};
+  opt.explorer.learner.num_memory_modes = 6;
+  opt.explorer.num_meta_tasks = s.num_meta_tasks;
+  opt.explorer.trainer.epochs = s.epochs;
+  opt.explorer.trainer.task_batch_size = 15;
+  opt.explorer.trainer.local_steps = FullScale() ? 30 : 5;
+  opt.explorer.trainer.local_batch_size = 10;
+  opt.explorer.trainer.local_lr = 0.2;
+  opt.explorer.trainer.global_lr = 0.3;
+  opt.explorer.trainer.num_threads = 4;
+  opt.explorer.online_steps = 40;
+  opt.explorer.online_batch_size = 10;
+  opt.explorer.online_lr = 0.2;
+  opt.eval_sample_rows = s.eval_rows;
+  opt.pool_rows = s.pool_rows;
+  opt.seed = seed;
+  return opt;
+}
+
+/// Convex-mode ψ for comparisons with the convexity-assuming baselines
+/// (paper VIII-B uses ψ=50 at k_u=100; scaled proportionally).
+inline int64_t ConvexPsi() { return GetScale().k_u / 2; }
+
+/// Generalized-mode (α=4, ψ=20 at k_u=100; scaled proportionally).
+inline int64_t GeneralPsi() { return std::max<int64_t>(5, GetScale().k_u / 5); }
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("scale: %s (LTE_BENCH_FULL=%d)\n",
+              FullScale() ? "paper-scale" : "scaled-down", FullScale() ? 1 : 0);
+  std::printf("================================================================\n");
+}
+
+}  // namespace lte::bench
+
+#endif  // LTE_BENCH_BENCH_COMMON_H_

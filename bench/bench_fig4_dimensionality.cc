@@ -1,0 +1,89 @@
+// Reproduces paper Figure 4: Learn-to-explore vs. baselines on SDSS with
+// convex, conjunctive UIRs (the setting DSM's assumptions fit best).
+//
+//   Figure 4(a): F1-score vs. dimensionality (2-8D) at budget B=30.
+//   Figure 4(b): labels needed to reach F1 = 0.75 vs. dimensionality.
+//
+// Expected shape (paper): all methods degrade with dimension; SVM-based
+// methods (AL-SVM, DSM) drop sharply while NN-based methods (Basic, Meta,
+// Meta*) stay stable; Meta* needs far fewer labels at 6-8D.
+
+#include "bench_common.h"
+#include "eval/report.h"
+
+namespace lte::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  PrintHeader("Figure 4: LTE vs. baselines w.r.t. dimensionality (SDSS)");
+
+  Rng rng(1);
+  data::Table sdss = data::MakeSdssLike(scale.sdss_rows, &rng);
+  // Convex setting: alpha = 1 with a wide psi.
+  eval::ExperimentRunner runner(std::move(sdss), SdssSubspaces(),
+                                BaseRunnerOptions(1, ConvexPsi()));
+  if (!runner.Init().ok()) {
+    std::printf("runner init failed\n");
+    return;
+  }
+
+  const std::vector<eval::Method> methods = {
+      eval::Method::kAide, eval::Method::kAlSvm, eval::Method::kDsm,
+      eval::Method::kBasic, eval::Method::kMeta, eval::Method::kMetaStar};
+  const std::vector<int64_t> dims = {1, 2, 3, 4};  // Subspaces => 2,4,6,8D.
+
+  // --- Figure 4(a): accuracy w.r.t. dimension, B = 30 (scaled). ---
+  const int64_t b30 = scale.budgets.size() > 1 ? scale.budgets[1] : 30;
+  eval::TextTable fig4a({"method", "2D", "4D", "6D", "8D"});
+  // Pre-generate test UIRs per dimension so all methods see the same ones.
+  std::vector<std::vector<eval::GroundTruthUir>> uirs_per_dim;
+  for (int64_t d : dims) {
+    std::vector<eval::GroundTruthUir> uirs;
+    for (int64_t i = 0; i < scale.uirs_per_config; ++i) {
+      uirs.push_back(runner.GenerateUir({"convex", 1, ConvexPsi()}, d));
+    }
+    uirs_per_dim.push_back(std::move(uirs));
+  }
+  for (eval::Method m : methods) {
+    std::vector<double> row;
+    for (size_t di = 0; di < dims.size(); ++di) {
+      double f1 = 0.0;
+      if (!runner.MeanF1(m, uirs_per_dim[di], b30, &f1).ok()) f1 = -1.0;
+      row.push_back(f1);
+    }
+    fig4a.AddRow(eval::MethodName(m), row);
+  }
+  std::printf("\nFigure 4(a): F1-score w.r.t. dimension (B=%lld)\n",
+              static_cast<long long>(b30));
+  fig4a.Print();
+
+  // --- Figure 4(b): labels needed for F1 >= target w.r.t. dimension. ---
+  const double target = FullScale() ? 0.75 : 0.6;
+  eval::TextTable fig4b({"method", "2D", "4D", "6D", "8D"});
+  for (eval::Method m : methods) {
+    std::vector<std::string> cells = {eval::MethodName(m)};
+    for (size_t di = 0; di < dims.size(); ++di) {
+      int64_t budget = -1;
+      if (!runner
+               .FindBudgetForTarget(m, uirs_per_dim[di], target,
+                                    scale.budgets, &budget)
+               .ok()) {
+        budget = -1;
+      }
+      cells.push_back(budget < 0 ? (">" + std::to_string(scale.budgets.back()))
+                                 : std::to_string(budget));
+    }
+    fig4b.AddRow(cells);
+  }
+  std::printf("\nFigure 4(b): labels needed to reach F1 >= %.2f\n", target);
+  fig4b.Print();
+}
+
+}  // namespace
+}  // namespace lte::bench
+
+int main() {
+  lte::bench::Run();
+  return 0;
+}

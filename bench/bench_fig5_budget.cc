@@ -1,0 +1,61 @@
+// Reproduces paper Figure 5: F1-score w.r.t. the labelling budget B at 2, 4,
+// 6, and 8 dimensions (SDSS, convex conjunctive UIRs).
+//
+// Expected shape (paper): accuracy rises with budget for every method; DSM
+// is competitive at 2D (its convexity assumption fits) but degrades rapidly
+// with dimension, while Meta/Meta* dominate at 4-8D across all budgets.
+
+#include "bench_common.h"
+#include "eval/report.h"
+
+namespace lte::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  PrintHeader("Figure 5: F1-score w.r.t. budget B at 2/4/6/8D (SDSS)");
+
+  Rng rng(2);
+  data::Table sdss = data::MakeSdssLike(scale.sdss_rows, &rng);
+  eval::ExperimentRunner runner(std::move(sdss), SdssSubspaces(),
+                                BaseRunnerOptions(1, ConvexPsi()));
+  if (!runner.Init().ok()) {
+    std::printf("runner init failed\n");
+    return;
+  }
+
+  const std::vector<eval::Method> methods = {
+      eval::Method::kDsm, eval::Method::kBasic, eval::Method::kMeta,
+      eval::Method::kMetaStar};
+
+  for (int64_t num_subspaces : {1, 2, 3, 4}) {
+    std::vector<eval::GroundTruthUir> uirs;
+    for (int64_t i = 0; i < scale.uirs_per_config; ++i) {
+      uirs.push_back(
+          runner.GenerateUir({"convex", 1, ConvexPsi()}, num_subspaces));
+    }
+    std::vector<std::string> header = {"method"};
+    for (int64_t b : scale.budgets) header.push_back("B=" + std::to_string(b));
+    eval::TextTable table(header);
+    for (eval::Method m : methods) {
+      std::vector<double> row;
+      for (int64_t b : scale.budgets) {
+        double f1 = 0.0;
+        if (!runner.MeanF1(m, uirs, b, &f1).ok()) f1 = -1.0;
+        row.push_back(f1);
+      }
+      table.AddRow(eval::MethodName(m), row);
+    }
+    std::printf("\nFigure 5: %lldD user interest space\n",
+                static_cast<long long>(2 * num_subspaces));
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace lte::bench
+
+int main() {
+  lte::bench::Run();
+  return 0;
+}

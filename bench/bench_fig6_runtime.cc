@@ -1,0 +1,72 @@
+// Reproduces paper Figure 6: online exploration runtime w.r.t. budget B at
+// 4D and 8D (SDSS).
+//
+// Expected shape (paper): DSM's online cost grows roughly linearly with the
+// budget (every labelled batch retrains the SVM inside the active-learning
+// loop) and with dimension, while Meta*'s online cost — a fixed number of
+// fast-adaptation gradient steps — is orders of magnitude lower and almost
+// flat in both budget and dimension.
+
+#include "bench_common.h"
+#include "eval/report.h"
+
+namespace lte::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  PrintHeader("Figure 6: online exploration time (seconds) w.r.t. budget");
+
+  Rng rng(3);
+  data::Table sdss = data::MakeSdssLike(scale.sdss_rows, &rng);
+  // The runtime comparison needs a realistic pool: DSM/AL-SVM pay a full
+  // pool scan (SVM decision + polytope three-set) every labelling batch, so
+  // a trivially small pool would hide the cost the paper measures.
+  eval::RunnerOptions options = BaseRunnerOptions(1, ConvexPsi());
+  options.pool_rows = FullScale() ? 20000 : 4000;
+  eval::ExperimentRunner runner(std::move(sdss), SdssSubspaces(), options);
+  if (!runner.Init().ok()) {
+    std::printf("runner init failed\n");
+    return;
+  }
+
+  for (int64_t num_subspaces : {2, 4}) {  // 4D and 8D.
+    std::vector<eval::GroundTruthUir> uirs;
+    for (int64_t i = 0; i < scale.uirs_per_config; ++i) {
+      uirs.push_back(
+          runner.GenerateUir({"convex", 1, ConvexPsi()}, num_subspaces));
+    }
+    std::vector<std::string> header = {"method"};
+    for (int64_t b : scale.budgets) header.push_back("B=" + std::to_string(b));
+    eval::TextTable table(header);
+    for (eval::Method m : {eval::Method::kDsm, eval::Method::kAlSvm,
+                           eval::Method::kMetaStar}) {
+      std::vector<double> row;
+      for (int64_t b : scale.budgets) {
+        double total = 0.0;
+        bool ok = true;
+        for (const auto& uir : uirs) {
+          eval::ExperimentResult res;
+          if (!runner.Run(m, uir, b, &res).ok()) {
+            ok = false;
+            break;
+          }
+          total += res.online_seconds;
+        }
+        row.push_back(ok ? total / static_cast<double>(uirs.size()) : -1.0);
+      }
+      table.AddRow(eval::MethodName(m), row, 4);
+    }
+    std::printf("\nFigure 6: %lldD online exploration time (s)\n",
+                static_cast<long long>(2 * num_subspaces));
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace lte::bench
+
+int main() {
+  lte::bench::Run();
+  return 0;
+}

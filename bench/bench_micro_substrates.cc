@@ -1,0 +1,155 @@
+// Google-benchmark micro-benchmarks for the substrate libraries: k-means,
+// convex hulls, the tabular encoder, the SMO solver, and the meta-learner's
+// forward/adaptation paths. These are not paper figures; they document the
+// per-component costs behind the end-to-end numbers (e.g. why Meta*'s online
+// phase in Figure 6 is flat: it is `steps x AccumulateBatch`, independent of
+// the budget-driven SVM retraining DSM pays).
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans.h"
+#include "core/lte.h"
+#include "data/synthetic.h"
+#include "geom/convex_hull.h"
+#include "preprocess/tabular_encoder.h"
+#include "svm/svm.h"
+
+namespace {
+
+std::vector<std::vector<double>> RandomPoints(int64_t n, int64_t dim,
+                                              lte::Rng* rng) {
+  std::vector<std::vector<double>> pts;
+  pts.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<double> p(static_cast<size_t>(dim));
+    for (double& x : p) x = rng->Uniform();
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+void BM_KMeans(benchmark::State& state) {
+  lte::Rng rng(1);
+  const auto pts = RandomPoints(state.range(0), 2, &rng);
+  lte::cluster::KMeansOptions opt;
+  opt.k = 50;
+  for (auto _ : state) {
+    lte::cluster::KMeansResult res;
+    benchmark::DoNotOptimize(lte::cluster::KMeans(pts, opt, &rng, &res));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(1000)->Arg(4000);
+
+void BM_ConvexHull(benchmark::State& state) {
+  lte::Rng rng(2);
+  std::vector<lte::geom::Point2> pts;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    pts.push_back({rng.Uniform(), rng.Uniform()});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lte::geom::ConvexHull(pts));
+  }
+}
+BENCHMARK(BM_ConvexHull)->Arg(64)->Arg(1024);
+
+void BM_RegionContains(benchmark::State& state) {
+  lte::Rng rng(3);
+  lte::geom::Region region;
+  for (int part = 0; part < 4; ++part) {
+    std::vector<std::vector<double>> group;
+    for (int i = 0; i < 20; ++i) {
+      group.push_back({rng.Uniform(), rng.Uniform()});
+    }
+    region.AddPart(lte::geom::ConvexRegion::HullOf(group));
+  }
+  const std::vector<double> probe = {0.5, 0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(region.Contains(probe));
+  }
+}
+BENCHMARK(BM_RegionContains);
+
+void BM_TabularEncoderFit(benchmark::State& state) {
+  lte::Rng rng(4);
+  const lte::data::Table table =
+      lte::data::MakeSdssLike(state.range(0), &rng);
+  for (auto _ : state) {
+    lte::preprocess::TabularEncoder enc;
+    benchmark::DoNotOptimize(enc.Fit(table, &rng));
+  }
+}
+BENCHMARK(BM_TabularEncoderFit)->Arg(2000)->Arg(8000);
+
+void BM_TabularEncodeRow(benchmark::State& state) {
+  lte::Rng rng(5);
+  const lte::data::Table table = lte::data::MakeSdssLike(2000, &rng);
+  lte::preprocess::TabularEncoder enc;
+  if (!enc.Fit(table, &rng).ok()) {
+    state.SkipWithError("encoder fit failed");
+    return;
+  }
+  const std::vector<double> row = table.Row(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.EncodeRow(row));
+  }
+}
+BENCHMARK(BM_TabularEncodeRow);
+
+void BM_SvmTrain(benchmark::State& state) {
+  lte::Rng rng(6);
+  const auto x = RandomPoints(state.range(0), 2, &rng);
+  std::vector<double> y;
+  for (const auto& p : x) y.push_back(p[0] + p[1] > 1.0 ? 1.0 : 0.0);
+  for (auto _ : state) {
+    lte::svm::Svm svm;
+    benchmark::DoNotOptimize(
+        svm.Train(x, y, lte::svm::Kernel{}, lte::svm::SmoOptions{}, &rng));
+  }
+}
+BENCHMARK(BM_SvmTrain)->Arg(30)->Arg(105);
+
+// The meta-learner's online fast-adaptation: the per-user cost of LTE's
+// online phase (paper Figure 6's flat line).
+void BM_TaskModelAdaptation(benchmark::State& state) {
+  lte::Rng rng(7);
+  lte::core::MetaLearnerOptions opt;
+  opt.uis_feature_dim = 100;
+  opt.tuple_feature_dim = 26;
+  opt.embedding_size = 32;
+  opt.clf_hidden = {32};
+  lte::core::MetaLearner learner(opt, &rng);
+  std::vector<double> v_r(100);
+  for (double& b : v_r) b = rng.Bernoulli(0.3) ? 1.0 : 0.0;
+  const auto x = RandomPoints(30, 26, &rng);
+  std::vector<double> y;
+  for (const auto& p : x) y.push_back(p[0] > 0.5 ? 1.0 : 0.0);
+  for (auto _ : state) {
+    lte::core::TaskModel tm = learner.CreateTaskModel(v_r);
+    lte::core::LocallyAdapt(&tm, x, y, /*steps=*/30, /*batch_size=*/10,
+                            /*lr=*/0.2, &rng);
+    benchmark::DoNotOptimize(tm.Logit(x[0]));
+  }
+}
+BENCHMARK(BM_TaskModelAdaptation);
+
+void BM_TaskModelPredict(benchmark::State& state) {
+  lte::Rng rng(8);
+  lte::core::MetaLearnerOptions opt;
+  opt.uis_feature_dim = 100;
+  opt.tuple_feature_dim = 26;
+  opt.embedding_size = 32;
+  opt.clf_hidden = {32};
+  lte::core::MetaLearner learner(opt, &rng);
+  std::vector<double> v_r(100);
+  for (double& b : v_r) b = rng.Bernoulli(0.3) ? 1.0 : 0.0;
+  lte::core::TaskModel tm = learner.CreateTaskModel(v_r);
+  const auto x = RandomPoints(1, 26, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tm.PredictProbability(x[0]));
+  }
+}
+BENCHMARK(BM_TaskModelPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

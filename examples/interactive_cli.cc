@@ -1,0 +1,164 @@
+// An end-to-end command-line IDE session: the closest thing to deploying LTE
+// as a product.
+//
+//   interactive_cli [csv_path] [model_path]
+//
+// * Loads a CSV (header + numeric columns); without one, generates the
+//   SDSS-like synthetic table.
+// * Pre-trains the meta-learners — or instantly restores them from
+//   `model_path` if it exists (Explorer::Save / LoadModel), mirroring the
+//   offline/online split of the paper's Figure 2.
+// * Presents the initial tuples per subspace; you answer y/n on stdin
+//   (pipe answers in for scripted runs).
+// * Fast-adapts, prints the 10 best-matching rows, and synthesizes the SQL
+//   filter equivalent to your learned interest region.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/lte.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "preprocess/normalizer.h"
+
+namespace {
+
+bool AskYesNo(const std::string& prompt) {
+  std::printf("%s [y/n] ", prompt.c_str());
+  std::fflush(stdout);
+  std::string line;
+  if (!std::getline(std::cin, line)) return false;
+  return !line.empty() && (line[0] == 'y' || line[0] == 'Y' || line[0] == '1');
+}
+
+std::string DescribeTuple(const std::vector<std::string>& names,
+                          const std::vector<int64_t>& attrs,
+                          const std::vector<double>& raw_values) {
+  std::string out;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names[static_cast<size_t>(attrs[i])] + "=" +
+           std::to_string(raw_values[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string csv_path = argc > 1 ? argv[1] : "";
+  const std::string model_path = argc > 2 ? argv[2] : "";
+  lte::Rng rng(2024);
+
+  // --- Load or generate the exploratory database. ---
+  lte::data::Table raw;
+  if (!csv_path.empty()) {
+    const lte::Status s = lte::data::ReadCsv(csv_path, &raw);
+    if (!s.ok()) {
+      std::printf("failed to read %s: %s\n", csv_path.c_str(),
+                  s.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s: %lld rows x %lld columns\n", csv_path.c_str(),
+                static_cast<long long>(raw.num_rows()),
+                static_cast<long long>(raw.num_columns()));
+  } else {
+    raw = lte::data::MakeSdssLike(15000, &rng);
+    std::printf("no CSV given; generated SDSS-like table (%lld rows)\n",
+                static_cast<long long>(raw.num_rows()));
+  }
+
+  lte::preprocess::MinMaxNormalizer normalizer;
+  if (!normalizer.Fit(raw).ok()) return 1;
+  lte::data::Table table(raw.AttributeNames());
+  for (int64_t r = 0; r < raw.num_rows(); ++r) {
+    if (!table.AppendRow(normalizer.TransformRow(raw.Row(r))).ok()) return 1;
+  }
+
+  // --- Offline phase: restore a saved model or pre-train and save. ---
+  lte::core::ExplorerOptions options;
+  options.task_gen.k_u = 50;
+  options.task_gen.k_s = 15;  // 20 labels per subspace with delta = 5.
+  options.task_gen.k_q = 50;
+  options.num_meta_tasks = 150;
+  options.learner.embedding_size = 24;
+  options.learner.clf_hidden = {24};
+
+  lte::core::Explorer explorer(options);
+  bool restored = false;
+  if (!model_path.empty()) {
+    if (explorer.LoadModel(model_path).ok()) {
+      std::printf("restored pre-trained model from %s\n", model_path.c_str());
+      restored = true;
+    }
+  }
+  if (!restored) {
+    std::vector<int64_t> attrs;
+    for (int64_t a = 0; a < table.num_columns(); ++a) attrs.push_back(a);
+    const std::vector<lte::data::Subspace> subspaces =
+        lte::data::DecomposeSpace(attrs, 2, &rng);
+    std::printf("pre-training on %zu subspaces...\n", subspaces.size());
+    const lte::Status s =
+        explorer.Pretrain(table, subspaces, /*train_meta=*/true, &rng);
+    if (!s.ok()) {
+      std::printf("pretrain failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (!model_path.empty()) {
+      if (explorer.Save(model_path).ok()) {
+        std::printf("saved model to %s\n", model_path.c_str());
+      }
+    }
+  }
+
+  // --- Online phase: the user labels the initial tuples. ---
+  const std::vector<std::string> names = table.AttributeNames();
+  std::vector<std::vector<double>> labels(
+      static_cast<size_t>(explorer.num_subspaces()));
+  for (int64_t s = 0; s < explorer.num_subspaces(); ++s) {
+    const auto& attrs = explorer.subspace(s).attribute_indices;
+    std::printf("\n-- subspace %lld --\n", static_cast<long long>(s));
+    for (const auto& tuple : explorer.InitialTuples(s)) {
+      std::vector<double> raw_values;
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        raw_values.push_back(normalizer.Inverse(attrs[i], tuple[i]));
+      }
+      const bool liked =
+          AskYesNo("interesting?  " + DescribeTuple(names, attrs, raw_values));
+      labels[static_cast<size_t>(s)].push_back(liked ? 1.0 : 0.0);
+    }
+  }
+
+  lte::Status s =
+      explorer.StartExploration(labels, lte::core::Variant::kMetaStar, &rng);
+  if (!s.ok()) {
+    std::printf("exploration failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // --- Retrieval: top matches + the equivalent SQL filter. ---
+  std::printf("\nbest-matching tuples:\n");
+  int shown = 0;
+  for (int64_t r = 0; r < table.num_rows() && shown < 10; ++r) {
+    if (explorer.PredictRow(table.Row(r)) < 0.5) continue;
+    const std::vector<double> raw_row = raw.Row(r);
+    std::string line;
+    for (size_t c = 0; c < raw_row.size(); ++c) {
+      if (c > 0) line += ", ";
+      line += names[c] + "=" + std::to_string(raw_row[c]);
+    }
+    std::printf("  %s\n", line.c_str());
+    ++shown;
+  }
+  if (shown == 0) std::printf("  (none)\n");
+
+  lte::core::SynthesizedQuery query;
+  s = lte::core::SynthesizeQuery(explorer, lte::core::QuerySynthesisOptions{},
+                                 &query);
+  if (s.ok()) {
+    std::printf("\nequivalent SQL filter:\n%s\n",
+                query.ToSql("data", names, &normalizer).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "baselines/active_learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace lte::baselines {
+
+Status ActiveLearnerSvm::Explore(const std::vector<std::vector<double>>& pool,
+                                 const LabelOracle& oracle, int64_t budget,
+                                 Rng* rng) {
+  const auto n = static_cast<int64_t>(pool.size());
+  if (n == 0) return Status::InvalidArgument("al-svm: empty pool");
+  if (budget <= 0) return Status::InvalidArgument("al-svm: budget must be > 0");
+
+  labels_used_ = 0;
+  std::vector<bool> labelled(static_cast<size_t>(n), false);
+  std::vector<std::vector<double>> train_x;
+  std::vector<double> train_y;
+
+  auto label_index = [&](int64_t idx) {
+    labelled[static_cast<size_t>(idx)] = true;
+    train_x.push_back(pool[static_cast<size_t>(idx)]);
+    train_y.push_back(oracle(idx));
+    ++labels_used_;
+  };
+
+  // Initial random sample.
+  const int64_t init = std::min(options_.initial_samples, budget);
+  for (int64_t idx : rng->SampleWithoutReplacement(n, std::min(init, n))) {
+    label_index(idx);
+  }
+  LTE_RETURN_IF_ERROR(
+      svm_.Train(train_x, train_y, options_.kernel, options_.smo, rng));
+
+  // Active-learning iterations: label the pool tuples the SVM is least sure
+  // about (smallest |margin|).
+  while (labels_used_ < budget &&
+         labels_used_ < n) {
+    const int64_t batch =
+        std::min(options_.batch_size, budget - labels_used_);
+    std::vector<double> uncertainty;
+    std::vector<int64_t> candidates;
+    uncertainty.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      if (labelled[static_cast<size_t>(i)]) continue;
+      candidates.push_back(i);
+      uncertainty.push_back(std::abs(svm_.DecisionFunction(pool[static_cast<size_t>(i)])));
+    }
+    if (candidates.empty()) break;
+    const size_t take =
+        std::min(static_cast<size_t>(batch), candidates.size());
+    for (size_t j : ArgSmallestK(uncertainty, take)) {
+      label_index(candidates[j]);
+    }
+    LTE_RETURN_IF_ERROR(
+        svm_.Train(train_x, train_y, options_.kernel, options_.smo, rng));
+  }
+  return Status::OK();
+}
+
+double ActiveLearnerSvm::Predict(const std::vector<double>& x) const {
+  return svm_.Predict(x);
+}
+
+double ActiveLearnerSvm::DecisionFunction(const std::vector<double>& x) const {
+  return svm_.DecisionFunction(x);
+}
+
+}  // namespace lte::baselines

@@ -1,0 +1,61 @@
+#ifndef LTE_BASELINES_ACTIVE_LEARNER_H_
+#define LTE_BASELINES_ACTIVE_LEARNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "svm/svm.h"
+
+namespace lte::baselines {
+
+/// Labels a pool tuple by index: returns 1.0 ("interesting") or 0.0. In the
+/// evaluation harness this is backed by a ground-truth UIR oracle; in a live
+/// system it would be the human user.
+using LabelOracle = std::function<double(int64_t pool_index)>;
+
+/// Options for the AL-SVM baseline (paper [4]: AIDE-style active learning
+/// around an SVM classifier).
+struct ActiveLearnerOptions {
+  /// Tuples labelled up-front (random sample of the pool).
+  int64_t initial_samples = 10;
+  /// Tuples labelled per active-learning iteration (the most uncertain ones).
+  int64_t batch_size = 5;
+  svm::Kernel kernel;
+  svm::SmoOptions smo;
+};
+
+/// AL-SVM: iteratively retrains an SVM and asks the oracle to label the pool
+/// tuples closest to the decision boundary (uncertainty sampling), until the
+/// labelling budget is exhausted.
+class ActiveLearnerSvm {
+ public:
+  explicit ActiveLearnerSvm(ActiveLearnerOptions options)
+      : options_(options) {}
+
+  /// Runs the exploration loop over `pool` (each row a feature vector) with
+  /// at most `budget` oracle labels. Fails on an empty pool or non-positive
+  /// budget.
+  Status Explore(const std::vector<std::vector<double>>& pool,
+                 const LabelOracle& oracle, int64_t budget, Rng* rng);
+
+  /// 0/1 prediction for an arbitrary tuple (after Explore).
+  double Predict(const std::vector<double>& x) const;
+
+  /// Signed SVM margin (after Explore).
+  double DecisionFunction(const std::vector<double>& x) const;
+
+  int64_t labels_used() const { return labels_used_; }
+  const svm::Svm& svm() const { return svm_; }
+
+ private:
+  ActiveLearnerOptions options_;
+  svm::Svm svm_;
+  int64_t labels_used_ = 0;
+};
+
+}  // namespace lte::baselines
+
+#endif  // LTE_BASELINES_ACTIVE_LEARNER_H_

@@ -1,0 +1,86 @@
+#include "baselines/aide.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace lte::baselines {
+
+Status Aide::Explore(const std::vector<std::vector<double>>& pool,
+                     const LabelOracle& oracle, int64_t budget, Rng* rng) {
+  const auto n = static_cast<int64_t>(pool.size());
+  if (n == 0) return Status::InvalidArgument("aide: empty pool");
+  if (budget <= 0) return Status::InvalidArgument("aide: budget must be > 0");
+
+  labels_used_ = 0;
+  std::vector<bool> labelled(static_cast<size_t>(n), false);
+  std::vector<std::vector<double>> train_x;
+  std::vector<double> train_y;
+
+  auto label_index = [&](int64_t idx) {
+    labelled[static_cast<size_t>(idx)] = true;
+    train_x.push_back(pool[static_cast<size_t>(idx)]);
+    train_y.push_back(oracle(idx));
+    ++labels_used_;
+  };
+
+  const int64_t init = std::min({options_.initial_samples, budget, n});
+  for (int64_t idx : rng->SampleWithoutReplacement(n, init)) label_index(idx);
+  tree_ = tree::DecisionTree(options_.tree);
+  LTE_RETURN_IF_ERROR(tree_.Train(train_x, train_y));
+
+  while (labels_used_ < budget && labels_used_ < n) {
+    const int64_t batch = std::min(options_.batch_size, budget - labels_used_);
+    const int64_t explore = std::min<int64_t>(
+        batch, static_cast<int64_t>(
+                   std::ceil(options_.explore_fraction *
+                             static_cast<double>(batch))));
+    const int64_t exploit = batch - explore;
+
+    std::vector<int64_t> candidates;
+    std::vector<double> purity;  // |p - 0.5|, lower = more uncertain.
+    for (int64_t i = 0; i < n; ++i) {
+      if (labelled[static_cast<size_t>(i)]) continue;
+      candidates.push_back(i);
+      purity.push_back(std::abs(
+          tree_.PredictProbability(pool[static_cast<size_t>(i)]) - 0.5));
+    }
+    if (candidates.empty()) break;
+
+    // Boundary exploitation: lowest-purity leaves first.
+    const size_t take =
+        std::min(static_cast<size_t>(exploit), candidates.size());
+    std::vector<bool> chosen(candidates.size(), false);
+    for (size_t j : ArgSmallestK(purity, take)) {
+      chosen[j] = true;
+      label_index(candidates[j]);
+    }
+    // Relevant-region discovery: random unlabelled tuples.
+    std::vector<int64_t> remaining;
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      if (!chosen[j]) remaining.push_back(candidates[j]);
+    }
+    const int64_t random_take =
+        std::min<int64_t>(explore, static_cast<int64_t>(remaining.size()));
+    for (int64_t idx : rng->SampleWithoutReplacement(
+             static_cast<int64_t>(remaining.size()), random_take)) {
+      label_index(remaining[static_cast<size_t>(idx)]);
+    }
+
+    tree_ = tree::DecisionTree(options_.tree);
+    LTE_RETURN_IF_ERROR(tree_.Train(train_x, train_y));
+  }
+  return Status::OK();
+}
+
+double Aide::Predict(const std::vector<double>& x) const {
+  return tree_.Predict(x);
+}
+
+double Aide::PredictProbability(const std::vector<double>& x) const {
+  return tree_.PredictProbability(x);
+}
+
+}  // namespace lte::baselines

@@ -1,0 +1,60 @@
+#ifndef LTE_BASELINES_AIDE_H_
+#define LTE_BASELINES_AIDE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/active_learner.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "tree/decision_tree.h"
+
+namespace lte::baselines {
+
+/// Options for the AIDE baseline (paper [2], [4]: decision-tree-based
+/// explore-by-example with active learning).
+struct AideOptions {
+  /// Tuples labelled up-front (random sample of the pool).
+  int64_t initial_samples = 10;
+  /// Tuples labelled per iteration.
+  int64_t batch_size = 5;
+  /// Fraction of each batch spent on random exploration of unseen space
+  /// (AIDE's relevant-region *discovery* phase); the rest exploits the
+  /// decision boundary (leaf probability near 0.5).
+  double explore_fraction = 0.4;
+  tree::DecisionTreeOptions tree;
+};
+
+/// AIDE: the original explore-by-example system. Trains a decision tree on
+/// the labelled tuples each round and splits its labelling budget between
+/// boundary exploitation (pool tuples whose leaf purity is lowest — the
+/// tuples hardest to discriminate) and random exploration (discovering
+/// relevant regions the tree has not seen). Its UIR representation is the
+/// union of axis-aligned boxes induced by the tree's positive leaves
+/// (Table I: "linear" UIS in subspace).
+class Aide {
+ public:
+  explicit Aide(AideOptions options) : options_(options) {}
+
+  /// Runs the exploration loop over `pool` with at most `budget` labels.
+  Status Explore(const std::vector<std::vector<double>>& pool,
+                 const LabelOracle& oracle, int64_t budget, Rng* rng);
+
+  /// 0/1 prediction (after Explore).
+  double Predict(const std::vector<double>& x) const;
+
+  /// Leaf positive-fraction (after Explore).
+  double PredictProbability(const std::vector<double>& x) const;
+
+  int64_t labels_used() const { return labels_used_; }
+  const tree::DecisionTree& tree() const { return tree_; }
+
+ private:
+  AideOptions options_;
+  tree::DecisionTree tree_;
+  int64_t labels_used_ = 0;
+};
+
+}  // namespace lte::baselines
+
+#endif  // LTE_BASELINES_AIDE_H_

@@ -1,0 +1,158 @@
+#include "baselines/dsm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace lte::baselines {
+
+Dsm::Dsm(DsmOptions options, std::vector<std::vector<int64_t>> subspace_attrs)
+    : options_(options), subspace_attrs_(std::move(subspace_attrs)) {
+  LTE_CHECK(!subspace_attrs_.empty());
+  polytopes_.resize(subspace_attrs_.size());
+}
+
+std::vector<double> Dsm::ProjectOnto(const std::vector<double>& x,
+                                     size_t subspace) const {
+  std::vector<double> p;
+  p.reserve(subspace_attrs_[subspace].size());
+  for (int64_t a : subspace_attrs_[subspace]) {
+    LTE_CHECK_LT(static_cast<size_t>(a), x.size());
+    p.push_back(x[static_cast<size_t>(a)]);
+  }
+  return p;
+}
+
+void Dsm::ResolvePendingNegatives() {
+  // A negative tuple is attributable to subspace s when every *other*
+  // subspace's projection lies inside its proven-positive region: the
+  // conjunction then forces s's projection to be outside its subregion.
+  for (size_t i = 0; i < pending_negatives_.size();) {
+    const std::vector<double>& x = pending_negatives_[i];
+    int64_t candidate = -1;
+    int64_t not_proven_positive = 0;
+    for (size_t s = 0; s < polytopes_.size(); ++s) {
+      if (polytopes_[s].Classify(ProjectOnto(x, s)) != ThreeSet::kPositive) {
+        ++not_proven_positive;
+        candidate = static_cast<int64_t>(s);
+      }
+    }
+    if (not_proven_positive == 1) {
+      polytopes_[static_cast<size_t>(candidate)].Update(
+          ProjectOnto(x, static_cast<size_t>(candidate)), 0.0);
+      pending_negatives_.erase(pending_negatives_.begin() +
+                               static_cast<long>(i));
+      // Restart: the new negative cone may not unlock others, but keeping
+      // the scan simple is fine at exploration label counts.
+      i = 0;
+      continue;
+    }
+    ++i;
+  }
+}
+
+ThreeSet Dsm::ClassifyThreeSet(const std::vector<double>& x) const {
+  bool all_positive = true;
+  for (size_t s = 0; s < polytopes_.size(); ++s) {
+    switch (polytopes_[s].Classify(ProjectOnto(x, s))) {
+      case ThreeSet::kNegative:
+        // Conjunction: one provably-negative subspace sinks the tuple.
+        return ThreeSet::kNegative;
+      case ThreeSet::kUncertain:
+        all_positive = false;
+        break;
+      case ThreeSet::kPositive:
+        break;
+    }
+  }
+  return all_positive ? ThreeSet::kPositive : ThreeSet::kUncertain;
+}
+
+Status Dsm::Explore(const std::vector<std::vector<double>>& pool,
+                    const LabelOracle& oracle, int64_t budget, Rng* rng) {
+  const auto n = static_cast<int64_t>(pool.size());
+  if (n == 0) return Status::InvalidArgument("dsm: empty pool");
+  if (budget <= 0) return Status::InvalidArgument("dsm: budget must be > 0");
+
+  labels_used_ = 0;
+  polytopes_.assign(subspace_attrs_.size(), PolytopeModel{});
+  pending_negatives_.clear();
+  std::vector<bool> labelled(static_cast<size_t>(n), false);
+  std::vector<std::vector<double>> train_x;
+  std::vector<double> train_y;
+
+  auto label_index = [&](int64_t idx) {
+    labelled[static_cast<size_t>(idx)] = true;
+    const double y = oracle(idx);
+    const auto& x = pool[static_cast<size_t>(idx)];
+    train_x.push_back(x);
+    train_y.push_back(y);
+    if (y > 0.5) {
+      // A conjunctively-positive tuple is positive in every subspace.
+      for (size_t s = 0; s < polytopes_.size(); ++s) {
+        polytopes_[s].Update(ProjectOnto(x, s), 1.0);
+      }
+      // Grown positive regions may make held-back negatives attributable.
+      ResolvePendingNegatives();
+    } else {
+      pending_negatives_.push_back(x);
+      ResolvePendingNegatives();
+    }
+    ++labels_used_;
+  };
+
+  const int64_t init = std::min({options_.initial_samples, budget, n});
+  for (int64_t idx : rng->SampleWithoutReplacement(n, init)) label_index(idx);
+  LTE_RETURN_IF_ERROR(
+      svm_.Train(train_x, train_y, options_.kernel, options_.smo, rng));
+
+  while (labels_used_ < budget && labels_used_ < n) {
+    const int64_t batch = std::min(options_.batch_size, budget - labels_used_);
+    // Candidate selection: uncertain-partition tuples nearest the SVM
+    // boundary; falls back to all unlabelled tuples when the polytopes have
+    // already decided everything.
+    std::vector<int64_t> candidates;
+    std::vector<double> scores;
+    for (int64_t i = 0; i < n; ++i) {
+      if (labelled[static_cast<size_t>(i)]) continue;
+      if (ClassifyThreeSet(pool[static_cast<size_t>(i)]) !=
+          ThreeSet::kUncertain) {
+        continue;
+      }
+      candidates.push_back(i);
+      scores.push_back(
+          std::abs(svm_.DecisionFunction(pool[static_cast<size_t>(i)])));
+    }
+    if (candidates.empty()) {
+      for (int64_t i = 0; i < n; ++i) {
+        if (labelled[static_cast<size_t>(i)]) continue;
+        candidates.push_back(i);
+        scores.push_back(
+            std::abs(svm_.DecisionFunction(pool[static_cast<size_t>(i)])));
+      }
+    }
+    if (candidates.empty()) break;
+    const size_t take = std::min(static_cast<size_t>(batch), candidates.size());
+    for (size_t j : ArgSmallestK(scores, take)) label_index(candidates[j]);
+    LTE_RETURN_IF_ERROR(
+        svm_.Train(train_x, train_y, options_.kernel, options_.smo, rng));
+  }
+  return Status::OK();
+}
+
+double Dsm::Predict(const std::vector<double>& x) const {
+  switch (ClassifyThreeSet(x)) {
+    case ThreeSet::kPositive:
+      return 1.0;
+    case ThreeSet::kNegative:
+      return 0.0;
+    case ThreeSet::kUncertain:
+      return svm_.Predict(x);
+  }
+  LTE_CHECK_MSG(false, "unreachable");
+  return 0.0;
+}
+
+}  // namespace lte::baselines

@@ -1,0 +1,80 @@
+#ifndef LTE_BASELINES_DSM_H_
+#define LTE_BASELINES_DSM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/active_learner.h"
+#include "baselines/polytope.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "svm/svm.h"
+
+namespace lte::baselines {
+
+/// Options for the DSM baseline (paper [5]).
+struct DsmOptions {
+  /// Tuples labelled up-front (random sample of the pool).
+  int64_t initial_samples = 10;
+  /// Tuples labelled per active-learning iteration.
+  int64_t batch_size = 5;
+  svm::Kernel kernel;
+  svm::SmoOptions smo;
+};
+
+/// DSM — the dual-space model: state of the art among the paper's baselines.
+///
+/// DSM factorizes the user interest space into low-dimensional subspaces
+/// (given here as index lists into the feature vector), maintains a
+/// `PolytopeModel` per subspace under the subspatial-convexity assumption,
+/// and combines them conjunctively: a tuple is positive when *every*
+/// subspace model says positive, negative when *any* says negative, and
+/// otherwise is deferred to an SVM trained on the labelled tuples. Active
+/// learning samples from the uncertain partition, closest to the SVM
+/// boundary — exactly the part of the space the polytopes cannot decide.
+///
+/// Labels are conjunctive (whole-tuple), so a negative tuple only proves
+/// that *some* subspace projection is outside its subregion. Following the
+/// factorized DSM, a negative example is attributed to a subspace only when
+/// every other subspace's projection is provably positive (inside that
+/// subspace's positive polytope); unattributable negatives are retried as
+/// the positive regions grow and meanwhile inform only the SVM.
+class Dsm {
+ public:
+  Dsm(DsmOptions options, std::vector<std::vector<int64_t>> subspace_attrs);
+
+  /// Runs the exploration loop over `pool` with at most `budget` labels.
+  Status Explore(const std::vector<std::vector<double>>& pool,
+                 const LabelOracle& oracle, int64_t budget, Rng* rng);
+
+  /// 0/1 prediction (after Explore).
+  double Predict(const std::vector<double>& x) const;
+
+  /// Conjunctive three-set classification (before the SVM fallback). This
+  /// feeds the three-set metric, DSM's convergence lower bound.
+  ThreeSet ClassifyThreeSet(const std::vector<double>& x) const;
+
+  int64_t labels_used() const { return labels_used_; }
+  const std::vector<PolytopeModel>& subspace_models() const {
+    return polytopes_;
+  }
+
+ private:
+  std::vector<double> ProjectOnto(const std::vector<double>& x,
+                                  size_t subspace) const;
+
+  /// Attributes pending negative examples to subspaces where possible.
+  void ResolvePendingNegatives();
+
+  DsmOptions options_;
+  std::vector<std::vector<int64_t>> subspace_attrs_;
+  std::vector<PolytopeModel> polytopes_;
+  /// Negative tuples not yet attributable to a single subspace.
+  std::vector<std::vector<double>> pending_negatives_;
+  svm::Svm svm_;
+  int64_t labels_used_ = 0;
+};
+
+}  // namespace lte::baselines
+
+#endif  // LTE_BASELINES_DSM_H_

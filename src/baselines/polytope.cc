@@ -1,0 +1,37 @@
+#include "baselines/polytope.h"
+
+#include "common/check.h"
+
+namespace lte::baselines {
+
+void PolytopeModel::Update(const std::vector<double>& point, double label) {
+  LTE_CHECK_MSG(point.size() == 1 || point.size() == 2,
+                "polytope model supports 1-D and 2-D subspaces");
+  if (label > 0.5) {
+    positives_.push_back(point);
+    positive_region_ = geom::ConvexRegion::HullOf(positives_);
+  } else {
+    negatives_.push_back(point);
+  }
+}
+
+ThreeSet PolytopeModel::Classify(const std::vector<double>& point) const {
+  if (!positive_region_.empty() && positive_region_.Contains(point)) {
+    return ThreeSet::kPositive;
+  }
+  // Negative-cone test: x is provably negative when adding it to the
+  // positive hull would swallow a known negative example. With no positives
+  // yet, the hull of {x} alone contains only x itself, so the test still
+  // catches exact negative duplicates.
+  if (!negatives_.empty()) {
+    std::vector<std::vector<double>> extended = positives_;
+    extended.push_back(point);
+    const geom::ConvexRegion hull = geom::ConvexRegion::HullOf(extended);
+    for (const auto& neg : negatives_) {
+      if (hull.Contains(neg)) return ThreeSet::kNegative;
+    }
+  }
+  return ThreeSet::kUncertain;
+}
+
+}  // namespace lte::baselines

@@ -1,0 +1,60 @@
+#ifndef LTE_BASELINES_POLYTOPE_H_
+#define LTE_BASELINES_POLYTOPE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/region.h"
+
+namespace lte::baselines {
+
+/// Three-set partition of a subspace under DSM's dual-space (polytope) model.
+enum class ThreeSet {
+  kPositive,
+  kNegative,
+  kUncertain,
+};
+
+/// DSM's per-subspace polytope model (paper [5]).
+///
+/// Under the assumption that the target subregion is *convex*:
+///  * the convex hull of the positively labelled points is provably inside
+///    the target region (positive region);
+///  * a point x is provably outside whenever some negative example e- falls
+///    inside conv(positives ∪ {x}) — if x were positive, convexity would
+///    force e- to be positive too (negative region);
+///  * everything else is uncertain and is deferred to a learned classifier.
+///
+/// Points are 1-D or 2-D subspace projections.
+class PolytopeModel {
+ public:
+  PolytopeModel() = default;
+
+  /// Adds one labelled point (label 1 = interesting).
+  void Update(const std::vector<double>& point, double label);
+
+  /// Three-set classification of an arbitrary subspace point.
+  ThreeSet Classify(const std::vector<double>& point) const;
+
+  int64_t num_positive() const {
+    return static_cast<int64_t>(positives_.size());
+  }
+  int64_t num_negative() const {
+    return static_cast<int64_t>(negatives_.size());
+  }
+
+  /// The positive region (convex hull of positive examples); empty when no
+  /// positives have been observed.
+  const geom::ConvexRegion& positive_region() const {
+    return positive_region_;
+  }
+
+ private:
+  std::vector<std::vector<double>> positives_;
+  std::vector<std::vector<double>> negatives_;
+  geom::ConvexRegion positive_region_;
+};
+
+}  // namespace lte::baselines
+
+#endif  // LTE_BASELINES_POLYTOPE_H_

@@ -1,0 +1,100 @@
+#include "cluster/drift.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace lte::cluster {
+namespace {
+
+constexpr double kErrorFloor = 1e-12;
+
+}  // namespace
+
+DriftDetector::DriftDetector(
+    std::vector<std::vector<double>> centers,
+    const std::vector<std::vector<double>>& baseline_points,
+    DriftDetectorOptions options)
+    : centers_(std::move(centers)), options_(options) {
+  LTE_CHECK(!centers_.empty());
+  LTE_CHECK(!baseline_points.empty());
+  LTE_CHECK_GT(options_.window_size, 0);
+
+  WindowStats baseline;
+  baseline.counts.assign(centers_.size(), 0);
+  for (const auto& p : baseline_points) Accumulate(p, &baseline);
+  baseline_error_ =
+      std::max(baseline.error_sum / static_cast<double>(baseline.n),
+               kErrorFloor);
+  baseline_fractions_.resize(centers_.size());
+  for (size_t c = 0; c < centers_.size(); ++c) {
+    baseline_fractions_[c] = static_cast<double>(baseline.counts[c]) /
+                             static_cast<double>(baseline.n);
+  }
+  current_.counts.assign(centers_.size(), 0);
+  completed_.counts.assign(centers_.size(), 0);
+}
+
+void DriftDetector::Accumulate(const std::vector<double>& point,
+                               WindowStats* stats) const {
+  double best = std::numeric_limits<double>::max();
+  size_t best_c = 0;
+  for (size_t c = 0; c < centers_.size(); ++c) {
+    const double d = SquaredDistance(point, centers_[c]);
+    if (d < best) {
+      best = d;
+      best_c = c;
+    }
+  }
+  ++stats->counts[best_c];
+  stats->error_sum += std::sqrt(best);
+  ++stats->n;
+}
+
+void DriftDetector::Offer(const std::vector<double>& point) {
+  Accumulate(point, &current_);
+  ++points_seen_;
+  if (current_.n >= options_.window_size) {
+    completed_ = current_;
+    has_completed_ = true;
+    current_ = WindowStats{};
+    current_.counts.assign(centers_.size(), 0);
+  }
+}
+
+const DriftDetector::WindowStats* DriftDetector::EvaluationWindow() const {
+  if (has_completed_) return &completed_;
+  if (current_.n >= options_.window_size / 4 && current_.n > 0) {
+    return &current_;
+  }
+  return nullptr;
+}
+
+double DriftDetector::ErrorRatio() const {
+  const WindowStats* w = EvaluationWindow();
+  if (w == nullptr) return 1.0;
+  const double err = w->error_sum / static_cast<double>(w->n);
+  return err / baseline_error_;
+}
+
+double DriftDetector::AssignmentDistance() const {
+  const WindowStats* w = EvaluationWindow();
+  if (w == nullptr) return 0.0;
+  double tv = 0.0;
+  for (size_t c = 0; c < centers_.size(); ++c) {
+    const double f = static_cast<double>(w->counts[c]) /
+                     static_cast<double>(w->n);
+    tv += std::abs(f - baseline_fractions_[c]);
+  }
+  return 0.5 * tv;
+}
+
+bool DriftDetector::Drifted() const {
+  if (EvaluationWindow() == nullptr) return false;
+  return ErrorRatio() > options_.error_ratio_threshold ||
+         AssignmentDistance() > options_.assignment_tv_threshold;
+}
+
+}  // namespace lte::cluster

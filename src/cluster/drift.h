@@ -1,0 +1,82 @@
+#ifndef LTE_CLUSTER_DRIFT_H_
+#define LTE_CLUSTER_DRIFT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lte::cluster {
+
+/// Options for distribution-drift detection.
+struct DriftDetectorOptions {
+  /// Points per tumbling evaluation window.
+  int64_t window_size = 1024;
+  /// Drift when the window's mean quantization error exceeds the baseline's
+  /// by this factor (new data far from the old centers).
+  double error_ratio_threshold = 1.5;
+  /// Drift when the total-variation distance between the baseline and
+  /// window assignment histograms exceeds this (mass moved between
+  /// clusters).
+  double assignment_tv_threshold = 0.25;
+};
+
+/// Dynamic maintenance support (paper Section V-E): meta-tasks and
+/// meta-learners are built on sampled cluster summaries, so deciding whether
+/// they need refreshing reduces to checking whether a subspace's clustering
+/// still describes the incoming data.
+///
+/// The detector is seeded with the subspace's cluster centers and a baseline
+/// sample (e.g. the context's sample_points). Stream new/updated tuples
+/// through `Offer`; when a tumbling window's quantization error or
+/// assignment histogram departs from the baseline, `Drifted()` turns true
+/// and the caller should re-run the clustering step and re-train that
+/// subspace's meta-learner.
+class DriftDetector {
+ public:
+  DriftDetector(std::vector<std::vector<double>> centers,
+                const std::vector<std::vector<double>>& baseline_points,
+                DriftDetectorOptions options = {});
+
+  /// Streams one subspace point.
+  void Offer(const std::vector<double>& point);
+
+  /// True when the most recent complete window (or the current partial
+  /// window once it holds at least a quarter of `window_size`) departs from
+  /// the baseline on either criterion.
+  bool Drifted() const;
+
+  /// Window mean quantization error divided by the baseline's (1.0 = no
+  /// change; uses the same window selection as Drifted()).
+  double ErrorRatio() const;
+
+  /// Total-variation distance between baseline and window assignment
+  /// histograms (0 = identical).
+  double AssignmentDistance() const;
+
+  int64_t points_seen() const { return points_seen_; }
+
+ private:
+  struct WindowStats {
+    std::vector<int64_t> counts;
+    double error_sum = 0.0;
+    int64_t n = 0;
+  };
+
+  // Stats of the window Drifted()/ErrorRatio() evaluate: the last complete
+  // window, or the current partial one when no window has completed yet and
+  // it is large enough.
+  const WindowStats* EvaluationWindow() const;
+  void Accumulate(const std::vector<double>& point, WindowStats* stats) const;
+
+  std::vector<std::vector<double>> centers_;
+  DriftDetectorOptions options_;
+  double baseline_error_ = 0.0;
+  std::vector<double> baseline_fractions_;
+  WindowStats current_;
+  WindowStats completed_;
+  bool has_completed_ = false;
+  int64_t points_seen_ = 0;
+};
+
+}  // namespace lte::cluster
+
+#endif  // LTE_CLUSTER_DRIFT_H_

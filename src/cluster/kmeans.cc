@@ -1,0 +1,137 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace lte::cluster {
+namespace {
+
+// k-means++ seeding: the first center is uniform; each subsequent center is
+// drawn with probability proportional to the squared distance to the nearest
+// already-chosen center.
+std::vector<std::vector<double>> SeedPlusPlus(
+    const std::vector<std::vector<double>>& points, int64_t k, Rng* rng) {
+  const int64_t n = static_cast<int64_t>(points.size());
+  std::vector<std::vector<double>> centers;
+  centers.reserve(static_cast<size_t>(k));
+  centers.push_back(points[static_cast<size_t>(rng->UniformInt(n))]);
+
+  std::vector<double> d2(static_cast<size_t>(n),
+                         std::numeric_limits<double>::max());
+  while (static_cast<int64_t>(centers.size()) < k) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double d = SquaredDistance(points[static_cast<size_t>(i)],
+                                       centers.back());
+      d2[static_cast<size_t>(i)] = std::min(d2[static_cast<size_t>(i)], d);
+      total += d2[static_cast<size_t>(i)];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centers; duplicate one.
+      centers.push_back(points[static_cast<size_t>(rng->UniformInt(n))]);
+      continue;
+    }
+    double target = rng->Uniform(0.0, total);
+    int64_t chosen = n - 1;
+    for (int64_t i = 0; i < n; ++i) {
+      target -= d2[static_cast<size_t>(i)];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(points[static_cast<size_t>(chosen)]);
+  }
+  return centers;
+}
+
+int64_t NearestCenter(const std::vector<double>& p,
+                      const std::vector<std::vector<double>>& centers,
+                      double* best_d2) {
+  int64_t best = 0;
+  double bd = std::numeric_limits<double>::max();
+  for (size_t c = 0; c < centers.size(); ++c) {
+    const double d = SquaredDistance(p, centers[c]);
+    if (d < bd) {
+      bd = d;
+      best = static_cast<int64_t>(c);
+    }
+  }
+  if (best_d2 != nullptr) *best_d2 = bd;
+  return best;
+}
+
+}  // namespace
+
+Status KMeans(const std::vector<std::vector<double>>& points,
+              const KMeansOptions& options, Rng* rng, KMeansResult* result) {
+  const int64_t n = static_cast<int64_t>(points.size());
+  if (n == 0) return Status::InvalidArgument("k-means: empty input");
+  if (options.k <= 0) return Status::InvalidArgument("k-means: k must be > 0");
+  if (options.k > n) {
+    return Status::InvalidArgument("k-means: k exceeds number of points");
+  }
+  const size_t dim = points.front().size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("k-means: inconsistent point dimensions");
+    }
+  }
+
+  KMeansResult res;
+  res.centers = SeedPlusPlus(points, options.k, rng);
+  res.assignments.assign(static_cast<size_t>(n), -1);
+
+  for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
+    res.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    res.inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double d2 = 0.0;
+      const int64_t c = NearestCenter(points[static_cast<size_t>(i)],
+                                      res.centers, &d2);
+      res.inertia += d2;
+      if (c != res.assignments[static_cast<size_t>(i)]) {
+        res.assignments[static_cast<size_t>(i)] = c;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+
+    // Update step.
+    std::vector<std::vector<double>> sums(
+        static_cast<size_t>(options.k), std::vector<double>(dim, 0.0));
+    std::vector<int64_t> counts(static_cast<size_t>(options.k), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const auto c = static_cast<size_t>(res.assignments[static_cast<size_t>(i)]);
+      ++counts[c];
+      for (size_t d = 0; d < dim; ++d) {
+        sums[c][d] += points[static_cast<size_t>(i)][d];
+      }
+    }
+    double movement = 0.0;
+    for (size_t c = 0; c < sums.size(); ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point to keep k centers live.
+        res.centers[c] = points[static_cast<size_t>(rng->UniformInt(n))];
+        movement += 1.0;
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        const double nc = sums[c][d] / static_cast<double>(counts[c]);
+        const double delta = nc - res.centers[c][d];
+        movement += delta * delta;
+        res.centers[c][d] = nc;
+      }
+    }
+    if (movement < options.tolerance) break;
+  }
+  *result = std::move(res);
+  return Status::OK();
+}
+
+}  // namespace lte::cluster

@@ -1,0 +1,43 @@
+#ifndef LTE_CLUSTER_KMEANS_H_
+#define LTE_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace lte::cluster {
+
+/// Options for Lloyd's k-means with k-means++ seeding.
+struct KMeansOptions {
+  int64_t k = 8;
+  int64_t max_iterations = 50;
+  /// Converged when no assignment changes or total center movement (squared)
+  /// falls below this threshold.
+  double tolerance = 1e-8;
+};
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// k cluster centers, each of the input dimension.
+  std::vector<std::vector<double>> centers;
+  /// Per-point index into `centers`.
+  std::vector<int64_t> assignments;
+  /// Sum of squared distances of points to their assigned centers.
+  double inertia = 0.0;
+  int64_t iterations = 0;
+};
+
+/// Runs k-means over `points` (all of equal dimension).
+///
+/// The clustering step of meta-task generation (paper Section V-B) runs this
+/// three times per meta-subspace with k = k_u, k_s, k_q to obtain the center
+/// sets C^u, C^s, C^q. Fails with InvalidArgument when k <= 0 or
+/// k > |points|, or when points are empty / dimension-inconsistent.
+Status KMeans(const std::vector<std::vector<double>>& points,
+              const KMeansOptions& options, Rng* rng, KMeansResult* result);
+
+}  // namespace lte::cluster
+
+#endif  // LTE_CLUSTER_KMEANS_H_

@@ -1,0 +1,43 @@
+#include "cluster/proximity.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace lte::cluster {
+
+ProximityMatrix::ProximityMatrix(
+    const std::vector<std::vector<double>>& row_centers,
+    const std::vector<std::vector<double>>& col_centers)
+    : num_rows_(static_cast<int64_t>(row_centers.size())),
+      num_cols_(static_cast<int64_t>(col_centers.size())) {
+  dist_.resize(static_cast<size_t>(num_rows_ * num_cols_));
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    for (int64_t c = 0; c < num_cols_; ++c) {
+      dist_[static_cast<size_t>(r * num_cols_ + c)] = EuclideanDistance(
+          row_centers[static_cast<size_t>(r)], col_centers[static_cast<size_t>(c)]);
+    }
+  }
+}
+
+double ProximityMatrix::Distance(int64_t r, int64_t c) const {
+  LTE_CHECK_GE(r, 0);
+  LTE_CHECK_LT(r, num_rows_);
+  LTE_CHECK_GE(c, 0);
+  LTE_CHECK_LT(c, num_cols_);
+  return dist_[static_cast<size_t>(r * num_cols_ + c)];
+}
+
+std::vector<int64_t> ProximityMatrix::NearestCols(int64_t r, int64_t k) const {
+  LTE_CHECK_GE(r, 0);
+  LTE_CHECK_LT(r, num_rows_);
+  k = std::min(k, num_cols_);
+  if (k <= 0) return {};
+  std::vector<double> row(dist_.begin() + r * num_cols_,
+                          dist_.begin() + (r + 1) * num_cols_);
+  const std::vector<size_t> idx = ArgSmallestK(row, static_cast<size_t>(k));
+  return std::vector<int64_t>(idx.begin(), idx.end());
+}
+
+}  // namespace lte::cluster

@@ -1,0 +1,41 @@
+#ifndef LTE_CLUSTER_PROXIMITY_H_
+#define LTE_CLUSTER_PROXIMITY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lte::cluster {
+
+/// A dense matrix of Euclidean distances between two center sets.
+///
+/// Meta-task generation maintains two such matrices (paper Section V-B):
+/// P^u (k_u x k_u, within C^u) drives the ψ-NN retrieval that forms simulated
+/// UIS parts, and P^s (k_s x k_u, C^s against C^u) drives the UIS feature
+/// vector expansion (Section VI-A) and the FP/FN optimizer (Section VII-B).
+class ProximityMatrix {
+ public:
+  ProximityMatrix() = default;
+
+  /// Builds the |rows| x |cols| distance matrix.
+  ProximityMatrix(const std::vector<std::vector<double>>& row_centers,
+                  const std::vector<std::vector<double>>& col_centers);
+
+  int64_t num_rows() const { return num_rows_; }
+  int64_t num_cols() const { return num_cols_; }
+
+  /// Distance between row center `r` and column center `c`.
+  double Distance(int64_t r, int64_t c) const;
+
+  /// Indices (into the column set) of the k nearest column centers to row
+  /// center `r`, ascending by distance. k is clamped to num_cols().
+  std::vector<int64_t> NearestCols(int64_t r, int64_t k) const;
+
+ private:
+  int64_t num_rows_ = 0;
+  int64_t num_cols_ = 0;
+  std::vector<double> dist_;  // Row-major.
+};
+
+}  // namespace lte::cluster
+
+#endif  // LTE_CLUSTER_PROXIMITY_H_

@@ -1,0 +1,37 @@
+#ifndef LTE_COMMON_CHECK_H_
+#define LTE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checks for conditions that indicate programmer error (as opposed
+// to recoverable input errors, which return lte::Status). A failed check
+// prints the condition and location, then aborts. Checks are active in all
+// build modes: a database-style library must not silently corrupt state.
+
+#define LTE_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "LTE_CHECK failed: %s at %s:%d\n", #cond,       \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define LTE_CHECK_MSG(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "LTE_CHECK failed: %s (%s) at %s:%d\n", #cond,  \
+                   msg, __FILE__, __LINE__);                               \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define LTE_CHECK_EQ(a, b) LTE_CHECK((a) == (b))
+#define LTE_CHECK_NE(a, b) LTE_CHECK((a) != (b))
+#define LTE_CHECK_LT(a, b) LTE_CHECK((a) < (b))
+#define LTE_CHECK_LE(a, b) LTE_CHECK((a) <= (b))
+#define LTE_CHECK_GT(a, b) LTE_CHECK((a) > (b))
+#define LTE_CHECK_GE(a, b) LTE_CHECK((a) >= (b))
+
+#endif  // LTE_COMMON_CHECK_H_

@@ -1,0 +1,49 @@
+#ifndef LTE_COMMON_MATH_UTIL_H_
+#define LTE_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace lte {
+
+/// Squared Euclidean distance between two equally sized vectors.
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Euclidean distance between two equally sized vectors.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Dot product of two equally sized vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// L2 norm.
+double Norm(const std::vector<double>& a);
+
+/// Cosine similarity; returns 0 when either vector is all-zero.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// In-place numerically stable softmax.
+void SoftmaxInPlace(std::vector<double>* v);
+
+/// Arithmetic mean; returns 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Population variance; returns 0 for vectors with fewer than 1 element.
+double Variance(const std::vector<double>& v);
+
+/// Numerically stable log of the Gaussian pdf.
+double LogGaussianPdf(double x, double mean, double variance);
+
+/// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// Indices of the k smallest values of `values` (ascending by value).
+/// Requires k <= values.size().
+std::vector<size_t> ArgSmallestK(const std::vector<double>& values, size_t k);
+
+}  // namespace lte
+
+#endif  // LTE_COMMON_MATH_UTIL_H_

@@ -1,0 +1,49 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lte {
+
+int64_t Rng::UniformInt(int64_t n) {
+  LTE_CHECK_GT(n, 0);
+  std::uniform_int_distribution<int64_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  LTE_CHECK_GE(k, 0);
+  LTE_CHECK_LE(k, n);
+  // Floyd's algorithm would avoid materializing [0, n), but reservoir-style
+  // selection over the index range keeps the draw order deterministic and
+  // n is small everywhere this is used (sampled tuple sets, cluster centers).
+  std::vector<int64_t> all(n);
+  for (int64_t i = 0; i < n; ++i) all[i] = i;
+  std::shuffle(all.begin(), all.end(), engine_);
+  all.resize(k);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+Rng Rng::Fork() {
+  std::uniform_int_distribution<uint64_t> dist;
+  return Rng(dist(engine_));
+}
+
+}  // namespace lte

@@ -1,0 +1,53 @@
+#ifndef LTE_COMMON_RNG_H_
+#define LTE_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace lte {
+
+/// Deterministic random number generator used throughout the library.
+///
+/// Every randomized component (sampling, k-means init, meta-task generation,
+/// NN parameter init) takes an `Rng&` so that experiments are reproducible
+/// from a single seed. Wraps std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int64_t UniformInt(int64_t n);
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Standard normal draw scaled to mean/stddev.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p);
+
+  /// k distinct indices sampled uniformly from [0, n) without replacement.
+  /// Requires 0 <= k <= n.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// Derives an independent child generator (for per-subspace determinism).
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace lte
+
+#endif  // LTE_COMMON_RNG_H_

@@ -1,0 +1,77 @@
+#ifndef LTE_COMMON_STATUS_H_
+#define LTE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace lte {
+
+/// Error codes for fallible operations across the LTE public API.
+///
+/// Following the database-library convention (RocksDB / Arrow), the library
+/// does not throw exceptions across API boundaries; operations that can fail
+/// return a `Status` (or a `Result<T>`-like out parameter pattern).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// A lightweight success-or-error value.
+///
+/// A default-constructed `Status` is OK. Error statuses carry a code and a
+/// human-readable message. `Status` is cheaply copyable.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, e.g. `return Status::InvalidArgument("k must be > 0");`
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates an error status from a callee, e.g.
+/// `LTE_RETURN_IF_ERROR(table.AppendRow(row));`
+#define LTE_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::lte::Status _lte_status = (expr);        \
+    if (!_lte_status.ok()) return _lte_status; \
+  } while (false)
+
+}  // namespace lte
+
+#endif  // LTE_COMMON_STATUS_H_

@@ -1,0 +1,14 @@
+#include "common/stopwatch.h"
+
+namespace lte {
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::ElapsedSeconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+double Stopwatch::ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+}  // namespace lte

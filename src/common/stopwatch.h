@@ -1,0 +1,29 @@
+#ifndef LTE_COMMON_STOPWATCH_H_
+#define LTE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace lte {
+
+/// Wall-clock stopwatch used by the experiment harness to report the online
+/// exploration cost (paper Figure 6) and pre-training cost (Figure 8(b)).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart();
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace lte
+
+#endif  // LTE_COMMON_STOPWATCH_H_

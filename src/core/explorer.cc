@@ -1,0 +1,426 @@
+#include "core/explorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <utility>
+
+#include "common/binary_io.h"
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/stopwatch.h"
+#include "core/uis_feature.h"
+
+namespace lte::core {
+namespace {
+
+constexpr uint64_t kModelMagic = 0x4C54454D4F44454CULL;  // "LTEMODEL".
+constexpr uint64_t kModelVersion = 1;
+
+void SaveOptions(const ExplorerOptions& opt, BinaryWriter* w) {
+  // MetaTaskGenOptions.
+  w->WriteI64(opt.task_gen.k_u);
+  w->WriteI64(opt.task_gen.k_s);
+  w->WriteI64(opt.task_gen.k_q);
+  w->WriteI64(opt.task_gen.delta);
+  w->WriteI64(opt.task_gen.alpha);
+  w->WriteI64(opt.task_gen.psi);
+  w->WriteI64(opt.task_gen.expansion_l);
+  w->WriteDouble(opt.task_gen.cluster_sample_fraction);
+  w->WriteI64(opt.task_gen.min_cluster_sample);
+  // MetaLearnerOptions (needed to rebuild the Basic variant online).
+  w->WriteI64(opt.learner.uis_feature_dim);
+  w->WriteI64(opt.learner.tuple_feature_dim);
+  w->WriteI64(opt.learner.embedding_size);
+  w->WriteI64Vector(opt.learner.uis_hidden);
+  w->WriteI64Vector(opt.learner.tuple_hidden);
+  w->WriteI64Vector(opt.learner.clf_hidden);
+  w->WriteBool(opt.learner.use_memory);
+  w->WriteI64(opt.learner.num_memory_modes);
+  w->WriteDouble(opt.learner.sigma);
+  // FpFnOptions + online schedule.
+  w->WriteDouble(opt.fpfn.outer_fraction);
+  w->WriteDouble(opt.fpfn.inner_fraction);
+  w->WriteI64(opt.num_meta_tasks);
+  w->WriteI64(opt.online_steps);
+  w->WriteI64(opt.online_batch_size);
+  w->WriteDouble(opt.online_lr);
+}
+
+Status LoadOptions(BinaryReader* r, ExplorerOptions* opt) {
+  LTE_RETURN_IF_ERROR(r->ReadI64(&opt->task_gen.k_u));
+  LTE_RETURN_IF_ERROR(r->ReadI64(&opt->task_gen.k_s));
+  LTE_RETURN_IF_ERROR(r->ReadI64(&opt->task_gen.k_q));
+  LTE_RETURN_IF_ERROR(r->ReadI64(&opt->task_gen.delta));
+  LTE_RETURN_IF_ERROR(r->ReadI64(&opt->task_gen.alpha));
+  LTE_RETURN_IF_ERROR(r->ReadI64(&opt->task_gen.psi));
+  LTE_RETURN_IF_ERROR(r->ReadI64(&opt->task_gen.expansion_l));
+  LTE_RETURN_IF_ERROR(r->ReadDouble(&opt->task_gen.cluster_sample_fraction));
+  LTE_RETURN_IF_ERROR(r->ReadI64(&opt->task_gen.min_cluster_sample));
+  LTE_RETURN_IF_ERROR(r->ReadI64(&opt->learner.uis_feature_dim));
+  LTE_RETURN_IF_ERROR(r->ReadI64(&opt->learner.tuple_feature_dim));
+  LTE_RETURN_IF_ERROR(r->ReadI64(&opt->learner.embedding_size));
+  LTE_RETURN_IF_ERROR(r->ReadI64Vector(&opt->learner.uis_hidden));
+  LTE_RETURN_IF_ERROR(r->ReadI64Vector(&opt->learner.tuple_hidden));
+  LTE_RETURN_IF_ERROR(r->ReadI64Vector(&opt->learner.clf_hidden));
+  LTE_RETURN_IF_ERROR(r->ReadBool(&opt->learner.use_memory));
+  LTE_RETURN_IF_ERROR(r->ReadI64(&opt->learner.num_memory_modes));
+  LTE_RETURN_IF_ERROR(r->ReadDouble(&opt->learner.sigma));
+  LTE_RETURN_IF_ERROR(r->ReadDouble(&opt->fpfn.outer_fraction));
+  LTE_RETURN_IF_ERROR(r->ReadDouble(&opt->fpfn.inner_fraction));
+  LTE_RETURN_IF_ERROR(r->ReadI64(&opt->num_meta_tasks));
+  LTE_RETURN_IF_ERROR(r->ReadI64(&opt->online_steps));
+  LTE_RETURN_IF_ERROR(r->ReadI64(&opt->online_batch_size));
+  LTE_RETURN_IF_ERROR(r->ReadDouble(&opt->online_lr));
+  return Status::OK();
+}
+
+}  // namespace
+
+const data::Subspace& Explorer::subspace(int64_t s) const {
+  LTE_CHECK_GE(s, 0);
+  LTE_CHECK_LT(s, num_subspaces());
+  return subspaces_[static_cast<size_t>(s)];
+}
+
+const std::vector<std::vector<double>>& Explorer::InitialTuples(
+    int64_t s) const {
+  LTE_CHECK_MSG(pretrained_, "InitialTuples before Pretrain");
+  LTE_CHECK_GE(s, 0);
+  LTE_CHECK_LT(s, num_subspaces());
+  return states_[static_cast<size_t>(s)].initial_tuples;
+}
+
+const MetaTaskGenerator& Explorer::generator(int64_t s) const {
+  LTE_CHECK_MSG(pretrained_, "generator before Pretrain");
+  LTE_CHECK_GE(s, 0);
+  LTE_CHECK_LT(s, num_subspaces());
+  return states_[static_cast<size_t>(s)].generator;
+}
+
+TupleEncoder Explorer::MakeEncoder(int64_t s) const {
+  const std::vector<int64_t>& attrs =
+      subspaces_[static_cast<size_t>(s)].attribute_indices;
+  return [this, attrs](const std::vector<double>& point) {
+    return encoder_.EncodeProjected(point, attrs);
+  };
+}
+
+Status Explorer::Pretrain(const data::Table& table,
+                          const std::vector<data::Subspace>& subspaces,
+                          bool train_meta, Rng* rng) {
+  if (subspaces.empty()) {
+    return Status::InvalidArgument("explorer: no subspaces");
+  }
+  subspaces_ = subspaces;
+  encoder_ = preprocess::TabularEncoder(options_.encoder);
+  LTE_RETURN_IF_ERROR(encoder_.Fit(table, rng));
+
+  states_.clear();
+  states_.resize(subspaces_.size());
+  task_generation_seconds_ = 0.0;
+  meta_training_seconds_ = 0.0;
+
+  for (size_t s = 0; s < subspaces_.size(); ++s) {
+    SubspaceState& state = states_[s];
+    state.generator = MetaTaskGenerator(options_.task_gen);
+    const std::vector<std::vector<double>> points =
+        data::ProjectRows(table, subspaces_[s]);
+    LTE_RETURN_IF_ERROR(state.generator.Init(points, rng));
+
+    // Initial tuples: the k_s centers of C^s plus Δ random sample tuples —
+    // the same construction as a meta-task's support set (paper Section
+    // V-D), so the online labels line up with the meta-trained input.
+    const SubspaceContext& ctx = state.generator.context();
+    state.initial_tuples = ctx.centers_s;
+    const auto n_sample = static_cast<int64_t>(ctx.sample_points.size());
+    for (int64_t i = 0; i < options_.task_gen.delta; ++i) {
+      state.initial_tuples.push_back(
+          ctx.sample_points[static_cast<size_t>(rng->UniformInt(n_sample))]);
+    }
+
+    if (train_meta) {
+      Stopwatch sw;
+      const std::vector<MetaTask> tasks =
+          state.generator.GenerateTaskSet(options_.num_meta_tasks, rng);
+      const std::vector<EncodedMetaTask> encoded =
+          EncodeTasks(tasks, MakeEncoder(static_cast<int64_t>(s)));
+      task_generation_seconds_ += sw.ElapsedSeconds();
+
+      sw.Restart();
+      MetaLearnerOptions lopt = options_.learner;
+      lopt.uis_feature_dim = options_.task_gen.k_u;
+      lopt.tuple_feature_dim =
+          encoder_.ProjectedWidth(subspaces_[s].attribute_indices);
+      state.meta_learner = std::make_unique<MetaLearner>(lopt, rng);
+      MetaTrainStats stats;
+      LTE_RETURN_IF_ERROR(MetaTrain(encoded, options_.trainer, rng,
+                                    state.meta_learner.get(), &stats));
+      meta_training_seconds_ += sw.ElapsedSeconds();
+    }
+  }
+  pretrained_ = true;
+  meta_trained_ = train_meta;
+  return Status::OK();
+}
+
+Status Explorer::StartExploration(
+    const std::vector<std::vector<double>>& labels_per_subspace,
+    Variant variant, Rng* rng) {
+  if (!pretrained_) {
+    return Status::FailedPrecondition("explorer: Pretrain has not run");
+  }
+  if (labels_per_subspace.empty() ||
+      static_cast<int64_t>(labels_per_subspace.size()) > num_subspaces()) {
+    return Status::InvalidArgument(
+        "explorer: label sets must cover 1..num_subspaces() subspaces");
+  }
+  if ((variant == Variant::kMeta || variant == Variant::kMetaStar) &&
+      !meta_trained_) {
+    return Status::FailedPrecondition(
+        "explorer: meta variant requires Pretrain(train_meta=true)");
+  }
+  variant_ = variant;
+  active_count_ = static_cast<int64_t>(labels_per_subspace.size());
+
+  for (size_t s = 0; s < labels_per_subspace.size(); ++s) {
+    SubspaceState& state = states_[s];
+    const std::vector<double>& labels = labels_per_subspace[s];
+    if (labels.size() != state.initial_tuples.size()) {
+      return Status::InvalidArgument(
+          "explorer: label count mismatch in subspace " + std::to_string(s));
+    }
+    const SubspaceContext& ctx = state.generator.context();
+    const auto k_s = static_cast<size_t>(state.generator.options().k_s);
+
+    // v_R from the center labels (first k_s entries).
+    const std::vector<double> center_labels(labels.begin(),
+                                            labels.begin() + k_s);
+    const std::vector<double> uis_feature = BuildUisFeature(
+        center_labels, ctx.proximity_s, state.generator.expansion_l());
+
+    // Basic trains the same architecture from scratch; Meta/Meta* adapt the
+    // meta-learned initialization (the underlined path of Algorithm 2).
+    std::unique_ptr<MetaLearner> basic_learner;
+    const MetaLearner* learner = state.meta_learner.get();
+    if (variant == Variant::kBasic) {
+      MetaLearnerOptions lopt = options_.learner;
+      lopt.uis_feature_dim = options_.task_gen.k_u;
+      lopt.tuple_feature_dim = encoder_.ProjectedWidth(
+          subspaces_[s].attribute_indices);
+      lopt.use_memory = false;
+      basic_learner = std::make_unique<MetaLearner>(lopt, rng);
+      learner = basic_learner.get();
+    }
+    state.task_model =
+        std::make_unique<TaskModel>(learner->CreateTaskModel(uis_feature));
+
+    const TupleEncoder encode = MakeEncoder(static_cast<int64_t>(s));
+    std::vector<std::vector<double>> x;
+    x.reserve(state.initial_tuples.size());
+    for (const auto& p : state.initial_tuples) x.push_back(encode(p));
+    LocallyAdapt(state.task_model.get(), x, labels, options_.online_steps,
+                 options_.online_batch_size, options_.online_lr, rng);
+
+    if (variant == Variant::kMetaStar) {
+      state.fpfn.emplace(ctx, center_labels, options_.fpfn);
+    } else {
+      state.fpfn.reset();
+    }
+  }
+  // Clear stale online state beyond the active prefix.
+  for (size_t s = labels_per_subspace.size(); s < states_.size(); ++s) {
+    states_[s].task_model.reset();
+    states_[s].fpfn.reset();
+  }
+  return Status::OK();
+}
+
+
+std::vector<int64_t> Explorer::RetrieveMatches(const data::Table& table,
+                                               int64_t limit) const {
+  LTE_CHECK_MSG(active_count_ > 0, "RetrieveMatches before StartExploration");
+  std::vector<int64_t> matches;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    if (PredictRow(table.Row(r)) > 0.5) {
+      matches.push_back(r);
+      if (limit > 0 && static_cast<int64_t>(matches.size()) >= limit) break;
+    }
+  }
+  return matches;
+}
+
+Status Explorer::Save(const std::string& path) const {
+  if (!pretrained_) {
+    return Status::FailedPrecondition("explorer: Save before Pretrain");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  BinaryWriter w(&out);
+  w.WriteU64(kModelMagic);
+  w.WriteU64(kModelVersion);
+  SaveOptions(options_, &w);
+  encoder_.Save(&w);
+  w.WriteBool(meta_trained_);
+  w.WriteU64(subspaces_.size());
+  for (size_t s = 0; s < subspaces_.size(); ++s) {
+    w.WriteI64Vector(subspaces_[s].attribute_indices);
+    const SubspaceContext& ctx = states_[s].generator.context();
+    w.WritePointSet(ctx.centers_u);
+    w.WritePointSet(ctx.centers_s);
+    w.WritePointSet(ctx.centers_q);
+    w.WritePointSet(ctx.sample_points);
+    w.WritePointSet(states_[s].initial_tuples);
+    const bool has_learner = states_[s].meta_learner != nullptr;
+    w.WriteBool(has_learner);
+    if (has_learner) states_[s].meta_learner->Save(&w);
+  }
+  return w.status();
+}
+
+Status Explorer::LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  BinaryReader r(&in);
+  uint64_t magic = 0;
+  uint64_t version = 0;
+  LTE_RETURN_IF_ERROR(r.ReadU64(&magic));
+  if (magic != kModelMagic) {
+    return Status::InvalidArgument(path + " is not an LTE model file");
+  }
+  LTE_RETURN_IF_ERROR(r.ReadU64(&version));
+  if (version != kModelVersion) {
+    return Status::InvalidArgument("unsupported LTE model version " +
+                                   std::to_string(version));
+  }
+  ExplorerOptions options;
+  LTE_RETURN_IF_ERROR(LoadOptions(&r, &options));
+  preprocess::TabularEncoder encoder;
+  LTE_RETURN_IF_ERROR(encoder.Load(&r));
+  bool meta_trained = false;
+  LTE_RETURN_IF_ERROR(r.ReadBool(&meta_trained));
+  uint64_t num_subspaces = 0;
+  LTE_RETURN_IF_ERROR(r.ReadU64(&num_subspaces));
+  if (num_subspaces == 0) {
+    return Status::IoError("model load: no subspaces");
+  }
+
+  std::vector<data::Subspace> subspaces(num_subspaces);
+  std::vector<SubspaceState> states(num_subspaces);
+  for (uint64_t s = 0; s < num_subspaces; ++s) {
+    LTE_RETURN_IF_ERROR(r.ReadI64Vector(&subspaces[s].attribute_indices));
+    SubspaceContext ctx;
+    LTE_RETURN_IF_ERROR(r.ReadPointSet(&ctx.centers_u));
+    LTE_RETURN_IF_ERROR(r.ReadPointSet(&ctx.centers_s));
+    LTE_RETURN_IF_ERROR(r.ReadPointSet(&ctx.centers_q));
+    LTE_RETURN_IF_ERROR(r.ReadPointSet(&ctx.sample_points));
+    if (static_cast<int64_t>(ctx.centers_u.size()) != options.task_gen.k_u ||
+        static_cast<int64_t>(ctx.centers_s.size()) != options.task_gen.k_s ||
+        static_cast<int64_t>(ctx.centers_q.size()) != options.task_gen.k_q) {
+      return Status::IoError("model load: context shape mismatch");
+    }
+    states[s].generator = MetaTaskGenerator(options.task_gen);
+    states[s].generator.RestoreContext(std::move(ctx));
+    LTE_RETURN_IF_ERROR(r.ReadPointSet(&states[s].initial_tuples));
+    bool has_learner = false;
+    LTE_RETURN_IF_ERROR(r.ReadBool(&has_learner));
+    if (has_learner) {
+      LTE_RETURN_IF_ERROR(
+          MetaLearner::LoadFrom(&r, &states[s].meta_learner));
+    } else if (meta_trained) {
+      return Status::IoError("model load: missing meta-learner");
+    }
+  }
+
+  options_ = options;
+  encoder_ = std::move(encoder);
+  subspaces_ = std::move(subspaces);
+  states_ = std::move(states);
+  pretrained_ = true;
+  meta_trained_ = meta_trained;
+  active_count_ = 0;
+  task_generation_seconds_ = 0.0;
+  meta_training_seconds_ = 0.0;
+  return Status::OK();
+}
+
+std::vector<int64_t> Explorer::SuggestTuples(
+    int64_t s, const std::vector<std::vector<double>>& candidates,
+    int64_t k) const {
+  LTE_CHECK_GE(s, 0);
+  LTE_CHECK_LT(s, active_count_);
+  const SubspaceState& state = states_[static_cast<size_t>(s)];
+  LTE_CHECK_MSG(state.task_model != nullptr,
+                "SuggestTuples before StartExploration");
+  const std::vector<int64_t>& attrs =
+      subspaces_[static_cast<size_t>(s)].attribute_indices;
+  std::vector<double> uncertainty;
+  uncertainty.reserve(candidates.size());
+  for (const auto& point : candidates) {
+    const double p = state.task_model->PredictProbability(
+        encoder_.EncodeProjected(point, attrs));
+    uncertainty.push_back(std::abs(p - 0.5));
+  }
+  const size_t take =
+      std::min(static_cast<size_t>(std::max<int64_t>(k, 0)),
+               candidates.size());
+  const std::vector<size_t> idx = ArgSmallestK(uncertainty, take);
+  return std::vector<int64_t>(idx.begin(), idx.end());
+}
+
+Status Explorer::ContinueExploration(
+    int64_t s, const std::vector<std::vector<double>>& points,
+    const std::vector<double>& labels, Rng* rng) {
+  if (s < 0 || s >= active_count_) {
+    return Status::InvalidArgument("explorer: subspace not active");
+  }
+  if (points.empty() || points.size() != labels.size()) {
+    return Status::InvalidArgument("explorer: points/labels mismatch");
+  }
+  SubspaceState& state = states_[static_cast<size_t>(s)];
+  if (state.task_model == nullptr) {
+    return Status::FailedPrecondition(
+        "explorer: ContinueExploration before StartExploration");
+  }
+  const TupleEncoder encode = MakeEncoder(s);
+  std::vector<std::vector<double>> x;
+  x.reserve(points.size());
+  for (const auto& p : points) x.push_back(encode(p));
+  LocallyAdapt(state.task_model.get(), x, labels, options_.online_steps,
+               options_.online_batch_size, options_.online_lr, rng);
+  return Status::OK();
+}
+
+double Explorer::PredictSubspace(int64_t s,
+                                 const std::vector<double>& point) const {
+  LTE_CHECK_GE(s, 0);
+  LTE_CHECK_LT(s, num_subspaces());
+  const SubspaceState& state = states_[static_cast<size_t>(s)];
+  LTE_CHECK_MSG(state.task_model != nullptr,
+                "PredictSubspace before StartExploration");
+  const std::vector<double> encoded = encoder_.EncodeProjected(
+      point, subspaces_[static_cast<size_t>(s)].attribute_indices);
+  double pred =
+      state.task_model->PredictProbability(encoded) > 0.5 ? 1.0 : 0.0;
+  if (state.fpfn.has_value()) pred = state.fpfn->Refine(point, pred);
+  return pred;
+}
+
+double Explorer::PredictRow(const std::vector<double>& row) const {
+  LTE_CHECK_MSG(active_count_ > 0, "PredictRow before StartExploration");
+  for (int64_t s = 0; s < active_count_; ++s) {
+    std::vector<double> point;
+    for (int64_t a : subspaces_[static_cast<size_t>(s)].attribute_indices) {
+      LTE_CHECK_LT(static_cast<size_t>(a), row.size());
+      point.push_back(row[static_cast<size_t>(a)]);
+    }
+    if (PredictSubspace(s, point) < 0.5) return 0.0;
+  }
+  return 1.0;
+}
+
+}  // namespace lte::core

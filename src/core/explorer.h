@@ -1,0 +1,174 @@
+#ifndef LTE_CORE_EXPLORER_H_
+#define LTE_CORE_EXPLORER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/meta_learner.h"
+#include "core/meta_task.h"
+#include "core/meta_trainer.h"
+#include "core/optimizer_fpfn.h"
+#include "data/subspace.h"
+#include "data/table.h"
+#include "preprocess/tabular_encoder.h"
+
+namespace lte::core {
+
+/// Which LTE variant answers predictions (paper Section VIII-A).
+enum class Variant {
+  /// Basic UIS classifier: same architecture, randomly initialized, trained
+  /// online only.
+  kBasic,
+  /// Meta: the classifier fast-adapts from meta-learned initialization
+  /// parameters (and memories).
+  kMeta,
+  /// Meta*: Meta plus the FP/FN prediction optimizer.
+  kMetaStar,
+};
+
+/// End-to-end configuration of the LTE framework.
+struct ExplorerOptions {
+  preprocess::EncoderOptions encoder;
+  MetaTaskGenOptions task_gen;
+  MetaLearnerOptions learner;  // tuple_feature_dim is filled per subspace.
+  MetaTrainerOptions trainer;
+  FpFnOptions fpfn;
+  /// |T^M|: meta-tasks generated per meta-subspace (paper default 15000;
+  /// the library defaults smaller — see DESIGN.md).
+  int64_t num_meta_tasks = 200;
+  /// Online fast-adaptation schedule. A larger learning rate than the
+  /// offline ρ is preferred online (paper Fig. 8(d) discussion).
+  int64_t online_steps = 30;
+  int64_t online_batch_size = 16;
+  double online_lr = 0.1;
+};
+
+/// The LTE framework: offline meta-learning over the meta-subspaces of a
+/// table, then few-shot online exploration (paper Figure 2).
+///
+/// Usage:
+///   Explorer ex(options);
+///   ex.Pretrain(table, subspaces, /*train_meta=*/true, &rng);
+///   // Collect user labels for ex.InitialTuples(s) in every subspace s...
+///   ex.StartExploration(labels, Variant::kMetaStar, &rng);
+///   bool interesting = ex.PredictRow(row) > 0.5;
+class Explorer {
+ public:
+  explicit Explorer(ExplorerOptions options) : options_(options) {}
+
+  /// Offline phase: fits the tabular encoder, runs the clustering step per
+  /// subspace, selects the initial tuples, and — when `train_meta` is set —
+  /// generates meta-tasks and meta-trains one meta-learner per subspace.
+  /// `train_meta=false` prepares the Basic variant (no pre-training cost).
+  Status Pretrain(const data::Table& table,
+                  const std::vector<data::Subspace>& subspaces,
+                  bool train_meta, Rng* rng);
+
+  int64_t num_subspaces() const {
+    return static_cast<int64_t>(subspaces_.size());
+  }
+  const data::Subspace& subspace(int64_t s) const;
+
+  /// The tuples of subspace `s` the user labels during initial exploration:
+  /// the k_s cluster centers of C^s followed by Δ random tuples, in raw
+  /// subspace coordinates. Fixed after Pretrain.
+  const std::vector<std::vector<double>>& InitialTuples(int64_t s) const;
+
+  /// Online phase: `labels_per_subspace[s][i]` is the 0/1 label of
+  /// InitialTuples(s)[i]. Fast-adapts a task model per subspace (and builds
+  /// the FP/FN optimizer for Meta*). Providing labels for only the first k
+  /// subspaces explores a k-subspace prefix of the interest space (the
+  /// dimensionality sweeps of the paper's Figures 4 and 7(c) use this);
+  /// PredictRow then conjoins only those subspaces. Fails if Pretrain has
+  /// not run, label shapes mismatch, or a meta variant is requested without
+  /// meta-training.
+  Status StartExploration(
+      const std::vector<std::vector<double>>& labels_per_subspace,
+      Variant variant, Rng* rng);
+
+  /// Number of subspaces adapted by the last StartExploration.
+  int64_t active_subspaces() const { return active_count_; }
+
+  /// Active-learning hook (paper Section III-B "Iterative exploration"):
+  /// ranks `candidates` (raw subspace-`s` points) by the adapted
+  /// classifier's uncertainty — probability closest to 0.5 — and returns the
+  /// indices of the `k` tuples most worth asking the user about next.
+  /// Requires StartExploration to have adapted subspace `s`.
+  std::vector<int64_t> SuggestTuples(
+      int64_t s, const std::vector<std::vector<double>>& candidates,
+      int64_t k) const;
+
+  /// Iterative exploration (paper Section III-B, "Other IDE Modules"):
+  /// feeds additional labelled tuples of subspace `s` (raw subspace
+  /// coordinates) through the same local-update path, continuing from the
+  /// current adapted state. Use after StartExploration, e.g. from an active-
+  /// learning loop that keeps querying the user.
+  Status ContinueExploration(int64_t s,
+                             const std::vector<std::vector<double>>& points,
+                             const std::vector<double>& labels, Rng* rng);
+
+  /// 1.0 when the adapted models consider the subspace point interesting.
+  double PredictSubspace(int64_t s, const std::vector<double>& point) const;
+
+  /// Conjunctive UIR membership of a full-width table row (paper Section
+  /// III-A: R^u = ∧ R_i).
+  double PredictRow(const std::vector<double>& row) const;
+
+  /// Final retrieval (paper Section III-B): scans `table` and returns the
+  /// row indices the adapted classifiers predict interesting, in row order,
+  /// stopping after `limit` matches (limit <= 0 scans everything).
+  std::vector<int64_t> RetrieveMatches(const data::Table& table,
+                                       int64_t limit = -1) const;
+
+  /// Per-subspace generator (exposes the clustering context).
+  const MetaTaskGenerator& generator(int64_t s) const;
+  const preprocess::TabularEncoder& encoder() const { return encoder_; }
+  const ExplorerOptions& options() const { return options_; }
+  bool meta_trained() const { return meta_trained_; }
+
+  /// Pre-training statistics (for the Figure 8(b) cost analysis).
+  double task_generation_seconds() const { return task_generation_seconds_; }
+  double meta_training_seconds() const { return meta_training_seconds_; }
+
+  /// Model persistence: writes the full pre-trained state (options, tabular
+  /// encoder, per-subspace clustering contexts, initial tuples, and trained
+  /// meta-learners) to `path`. Offline training and online serving can then
+  /// live in separate processes. Requires Pretrain to have run.
+  Status Save(const std::string& path) const;
+
+  /// Restores a pre-trained Explorer saved by Save, replacing this
+  /// instance's state. Online exploration (StartExploration/PredictRow) is
+  /// available immediately; no re-clustering or re-training happens.
+  Status LoadModel(const std::string& path);
+
+ private:
+  struct SubspaceState {
+    MetaTaskGenerator generator{MetaTaskGenOptions{}};
+    std::vector<std::vector<double>> initial_tuples;
+    std::unique_ptr<MetaLearner> meta_learner;
+    // Online state.
+    std::unique_ptr<TaskModel> task_model;
+    std::optional<FpFnOptimizer> fpfn;
+  };
+
+  TupleEncoder MakeEncoder(int64_t s) const;
+
+  ExplorerOptions options_;
+  preprocess::TabularEncoder encoder_;
+  std::vector<data::Subspace> subspaces_;
+  std::vector<SubspaceState> states_;
+  bool pretrained_ = false;
+  bool meta_trained_ = false;
+  int64_t active_count_ = 0;
+  Variant variant_ = Variant::kBasic;
+  double task_generation_seconds_ = 0.0;
+  double meta_training_seconds_ = 0.0;
+};
+
+}  // namespace lte::core
+
+#endif  // LTE_CORE_EXPLORER_H_

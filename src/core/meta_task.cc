@@ -1,0 +1,140 @@
+#include "core/meta_task.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/uis_feature.h"
+
+namespace lte::core {
+
+Status MetaTaskGenerator::Init(
+    const std::vector<std::vector<double>>& subspace_points, Rng* rng) {
+  if (subspace_points.empty()) {
+    return Status::InvalidArgument("meta-task generator: empty subspace");
+  }
+  const auto n = static_cast<int64_t>(subspace_points.size());
+  int64_t sample_size = static_cast<int64_t>(
+      options_.cluster_sample_fraction * static_cast<double>(n));
+  sample_size = std::max(sample_size, options_.min_cluster_sample);
+  sample_size = std::min(sample_size, n);
+  const int64_t max_k = std::max({options_.k_u, options_.k_s, options_.k_q});
+  if (sample_size < max_k) {
+    return Status::InvalidArgument(
+        "meta-task generator: subspace sample smaller than largest k");
+  }
+
+  context_.sample_points.clear();
+  context_.sample_points.reserve(static_cast<size_t>(sample_size));
+  for (int64_t idx : rng->SampleWithoutReplacement(n, sample_size)) {
+    context_.sample_points.push_back(subspace_points[static_cast<size_t>(idx)]);
+  }
+
+  // Three rounds of k-means: C^u, C^s, C^q (paper Section V-B).
+  auto run = [&](int64_t k, std::vector<std::vector<double>>* centers) {
+    cluster::KMeansOptions opt = options_.kmeans;
+    opt.k = k;
+    cluster::KMeansResult res;
+    LTE_RETURN_IF_ERROR(cluster::KMeans(context_.sample_points, opt, rng, &res));
+    *centers = std::move(res.centers);
+    return Status::OK();
+  };
+  LTE_RETURN_IF_ERROR(run(options_.k_u, &context_.centers_u));
+  LTE_RETURN_IF_ERROR(run(options_.k_s, &context_.centers_s));
+  LTE_RETURN_IF_ERROR(run(options_.k_q, &context_.centers_q));
+
+  context_.proximity_u =
+      cluster::ProximityMatrix(context_.centers_u, context_.centers_u);
+  context_.proximity_s =
+      cluster::ProximityMatrix(context_.centers_s, context_.centers_u);
+  initialized_ = true;
+  return Status::OK();
+}
+
+void MetaTaskGenerator::RestoreContext(SubspaceContext context) {
+  LTE_CHECK_EQ(static_cast<int64_t>(context.centers_u.size()), options_.k_u);
+  LTE_CHECK_EQ(static_cast<int64_t>(context.centers_s.size()), options_.k_s);
+  LTE_CHECK_EQ(static_cast<int64_t>(context.centers_q.size()), options_.k_q);
+  LTE_CHECK(!context.sample_points.empty());
+  context_ = std::move(context);
+  context_.proximity_u =
+      cluster::ProximityMatrix(context_.centers_u, context_.centers_u);
+  context_.proximity_s =
+      cluster::ProximityMatrix(context_.centers_s, context_.centers_u);
+  initialized_ = true;
+}
+
+int64_t MetaTaskGenerator::expansion_l() const {
+  if (options_.expansion_l > 0) return options_.expansion_l;
+  return std::max<int64_t>(1, options_.k_u / 10);
+}
+
+geom::Region MetaTaskGenerator::GenerateUis(int64_t alpha, int64_t psi,
+                                            Rng* rng) const {
+  LTE_CHECK_MSG(initialized_, "GenerateUis before Init");
+  LTE_CHECK_GT(alpha, 0);
+  LTE_CHECK_GT(psi, 0);
+  geom::Region region;
+  for (int64_t part = 0; part < alpha; ++part) {
+    // Pick a random seed center c_j in C^u and circumscribe its ψ nearest
+    // centers with a convex hull (paper Section V-C). NearestCols of the
+    // within-C^u proximity matrix includes c_j itself at distance 0.
+    const int64_t j = rng->UniformInt(options_.k_u);
+    std::vector<std::vector<double>> group;
+    for (int64_t u : context_.proximity_u.NearestCols(j, psi)) {
+      group.push_back(context_.centers_u[static_cast<size_t>(u)]);
+    }
+    region.AddPart(geom::ConvexRegion::HullOf(group));
+  }
+  return region;
+}
+
+MetaTask MetaTaskGenerator::GenerateTask(Rng* rng) const {
+  LTE_CHECK_MSG(initialized_, "GenerateTask before Init");
+  MetaTask task;
+  task.uis = GenerateUis(options_.alpha, options_.psi, rng);
+
+  // Support set: all k_s centers of C^s, then Δ random sample tuples
+  // (paper Section V-D).
+  const auto n_sample = static_cast<int64_t>(context_.sample_points.size());
+  for (const auto& c : context_.centers_s) {
+    task.support_points.push_back(c);
+    task.support_labels.push_back(task.uis.Contains(c) ? 1.0 : 0.0);
+  }
+  for (int64_t i = 0; i < options_.delta; ++i) {
+    const auto& p =
+        context_.sample_points[static_cast<size_t>(rng->UniformInt(n_sample))];
+    task.support_points.push_back(p);
+    task.support_labels.push_back(task.uis.Contains(p) ? 1.0 : 0.0);
+  }
+
+  // Query set: all k_q centers of C^q, then Δ random sample tuples.
+  for (const auto& c : context_.centers_q) {
+    task.query_points.push_back(c);
+    task.query_labels.push_back(task.uis.Contains(c) ? 1.0 : 0.0);
+  }
+  for (int64_t i = 0; i < options_.delta; ++i) {
+    const auto& p =
+        context_.sample_points[static_cast<size_t>(rng->UniformInt(n_sample))];
+    task.query_points.push_back(p);
+    task.query_labels.push_back(task.uis.Contains(p) ? 1.0 : 0.0);
+  }
+
+  // UIS feature vector from the C^s center labels (the first k_s support
+  // labels), expanded onto C^u.
+  const std::vector<double> center_labels(
+      task.support_labels.begin(),
+      task.support_labels.begin() + static_cast<long>(options_.k_s));
+  task.uis_feature =
+      BuildUisFeature(center_labels, context_.proximity_s, expansion_l());
+  return task;
+}
+
+std::vector<MetaTask> MetaTaskGenerator::GenerateTaskSet(int64_t n,
+                                                         Rng* rng) const {
+  std::vector<MetaTask> tasks;
+  tasks.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) tasks.push_back(GenerateTask(rng));
+  return tasks;
+}
+
+}  // namespace lte::core

@@ -1,0 +1,121 @@
+#ifndef LTE_CORE_META_TASK_H_
+#define LTE_CORE_META_TASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "cluster/proximity.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "geom/region.h"
+
+namespace lte::core {
+
+/// A meta-task t : (R_t^M, S_t^sp, S_t^qs) — paper Definition 2.
+///
+/// The support set simulates the user's labelling actions; the query set
+/// simulates the evaluation of the locally adapted learner. Points are raw
+/// subspace coordinates; the meta-trainer encodes them with the tabular
+/// encoder before feeding the classifier.
+struct MetaTask {
+  /// Simulated UIS: union of α convex hulls (paper Section V-C).
+  geom::Region uis;
+
+  /// Support set: the k_s cluster centers of C^s followed by Δ random
+  /// subspace tuples (paper Section V-D). `support_labels[i]` is 1 when
+  /// `support_points[i]` lies inside the UIS.
+  std::vector<std::vector<double>> support_points;
+  std::vector<double> support_labels;
+
+  /// Query set: the k_q centers of C^q followed by Δ random tuples.
+  std::vector<std::vector<double>> query_points;
+  std::vector<double> query_labels;
+
+  /// UIS feature vector v_R of length k_u (paper Section VI-A): the labels
+  /// of the C^s centers expanded onto C^u via l-nearest-neighbour retrieval.
+  std::vector<double> uis_feature;
+};
+
+/// Per-meta-subspace state shared by every meta-task: the three rounds of
+/// k-means (C^u, C^s, C^q) and the two proximity matrices (paper Section
+/// V-B).
+struct SubspaceContext {
+  std::vector<std::vector<double>> centers_u;  // k_u centers.
+  std::vector<std::vector<double>> centers_s;  // k_s centers.
+  std::vector<std::vector<double>> centers_q;  // k_q centers.
+  cluster::ProximityMatrix proximity_u;        // k_u x k_u (P^u).
+  cluster::ProximityMatrix proximity_s;        // k_s x k_u (P^s).
+  /// Sampled subspace tuples the clustering ran on; also the source of the
+  /// Δ random support/query tuples.
+  std::vector<std::vector<double>> sample_points;
+};
+
+/// Parameters of meta-task generation (paper Algorithm 1 and Section VIII-A
+/// defaults).
+struct MetaTaskGenOptions {
+  int64_t k_u = 100;
+  int64_t k_s = 25;
+  int64_t k_q = 200;
+  /// Δ extra random tuples appended to each support/query set.
+  int64_t delta = 5;
+  /// α: number of convex parts composing a simulated UIS.
+  int64_t alpha = 4;
+  /// ψ: neighbourhood size of each convex part.
+  int64_t psi = 20;
+  /// l: UIS feature expansion degree; <= 0 means the paper default 0.1*k_u.
+  int64_t expansion_l = -1;
+  /// Clustering runs on a random sample of this fraction of the subspace
+  /// tuples (paper: 1%), but at least `min_cluster_sample` points.
+  double cluster_sample_fraction = 0.01;
+  int64_t min_cluster_sample = 1024;
+  cluster::KMeansOptions kmeans;
+};
+
+/// Generates meta-tasks for one meta-subspace (paper Algorithm 1).
+///
+/// `Init` performs the clustering step once; `GenerateTask` then produces
+/// i.i.d. meta-tasks cheaply (UIS formulation + support/query formulation).
+class MetaTaskGenerator {
+ public:
+  explicit MetaTaskGenerator(MetaTaskGenOptions options)
+      : options_(options) {}
+
+  /// Clustering step: three k-means rounds over a sample of
+  /// `subspace_points` plus the proximity matrices. Fails when the subspace
+  /// has fewer points than the largest k.
+  Status Init(const std::vector<std::vector<double>>& subspace_points,
+              Rng* rng);
+
+  bool initialized() const { return initialized_; }
+  const SubspaceContext& context() const { return context_; }
+  const MetaTaskGenOptions& options() const { return options_; }
+
+  /// Resolved expansion degree l.
+  int64_t expansion_l() const;
+
+  /// Formulates one meta-task: a simulated UIS of `alpha` convex hulls over
+  /// ψ-NN center groups, plus labelled support and query sets.
+  MetaTask GenerateTask(Rng* rng) const;
+
+  /// Convenience: n tasks.
+  std::vector<MetaTask> GenerateTaskSet(int64_t n, Rng* rng) const;
+
+  /// Builds a simulated UIS with explicit α and ψ (used by the ground-truth
+  /// UIR generator for the M1-M7 benchmark modes, Table III).
+  geom::Region GenerateUis(int64_t alpha, int64_t psi, Rng* rng) const;
+
+  /// Model persistence: re-installs a clustering context (center sets and
+  /// sample points; the proximity matrices are rebuilt) without re-running
+  /// k-means. The context must match this generator's options.
+  void RestoreContext(SubspaceContext context);
+
+ private:
+  MetaTaskGenOptions options_;
+  bool initialized_ = false;
+  SubspaceContext context_;
+};
+
+}  // namespace lte::core
+
+#endif  // LTE_CORE_META_TASK_H_

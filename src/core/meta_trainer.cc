@@ -1,0 +1,208 @@
+#include "core/meta_trainer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "common/check.h"
+
+namespace lte::core {
+
+std::vector<EncodedMetaTask> EncodeTasks(const std::vector<MetaTask>& tasks,
+                                         const TupleEncoder& encoder) {
+  std::vector<EncodedMetaTask> out;
+  out.reserve(tasks.size());
+  for (const MetaTask& t : tasks) {
+    EncodedMetaTask e;
+    e.uis_feature = t.uis_feature;
+    e.support_y = t.support_labels;
+    e.query_y = t.query_labels;
+    e.support_x.reserve(t.support_points.size());
+    for (const auto& p : t.support_points) e.support_x.push_back(encoder(p));
+    e.query_x.reserve(t.query_points.size());
+    for (const auto& p : t.query_points) e.query_x.push_back(encoder(p));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void LocallyAdapt(TaskModel* model, const std::vector<std::vector<double>>& x,
+                  const std::vector<double>& y, int64_t steps,
+                  int64_t batch_size, double lr, Rng* rng,
+                  double max_grad_norm) {
+  LTE_CHECK_EQ(x.size(), y.size());
+  LTE_CHECK(!x.empty());
+  const auto n = static_cast<int64_t>(x.size());
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), int64_t{0});
+  int64_t cursor = n;  // Forces an initial shuffle.
+
+  for (int64_t step = 0; step < steps; ++step) {
+    const int64_t take = std::min(batch_size, n);
+    std::vector<std::vector<double>> bx;
+    std::vector<double> by;
+    bx.reserve(static_cast<size_t>(take));
+    by.reserve(static_cast<size_t>(take));
+    for (int64_t i = 0; i < take; ++i) {
+      if (cursor >= n) {
+        rng->Shuffle(&order);
+        cursor = 0;
+      }
+      const int64_t idx = order[static_cast<size_t>(cursor++)];
+      bx.push_back(x[static_cast<size_t>(idx)]);
+      by.push_back(y[static_cast<size_t>(idx)]);
+    }
+    model->ZeroGrad();
+    model->AccumulateBatch(bx, by);
+    model->ApplyAccumulated(lr, max_grad_norm);
+  }
+}
+
+namespace {
+
+// Adds src into *dst (both flattened gradient vectors).
+void AddInto(const std::vector<double>& src, std::vector<double>* dst) {
+  if (dst->empty()) dst->assign(src.size(), 0.0);
+  LTE_CHECK_EQ(src.size(), dst->size());
+  for (size_t i = 0; i < src.size(); ++i) (*dst)[i] += src[i];
+}
+
+// One-step global update: φ ⇐ φ − λ/|batch| · Σ ∇ (Eq. 13).
+void ApplyGlobal(nn::Mlp* phi, const std::vector<double>& grad_sum,
+                 double lr, int64_t batch) {
+  std::vector<double> params = phi->GetParameters();
+  const double scale = lr / static_cast<double>(batch);
+  LTE_CHECK_EQ(params.size(), grad_sum.size());
+  for (size_t i = 0; i < params.size(); ++i) params[i] -= scale * grad_sum[i];
+  phi->SetParameters(params);
+}
+
+}  // namespace
+
+Status MetaTrain(const std::vector<EncodedMetaTask>& tasks,
+                 const MetaTrainerOptions& options, Rng* rng,
+                 MetaLearner* learner, MetaTrainStats* stats) {
+  if (tasks.empty()) {
+    return Status::InvalidArgument("meta-train: empty task set");
+  }
+  if (options.epochs <= 0 || options.task_batch_size <= 0 ||
+      options.local_steps < 0 || options.local_batch_size <= 0) {
+    return Status::InvalidArgument("meta-train: invalid options");
+  }
+  MetaTrainStats local_stats;
+
+  std::vector<int64_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), int64_t{0});
+
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double epoch_loss = 0.0;
+    int64_t counted = 0;
+
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(options.task_batch_size)) {
+      const size_t end = std::min(
+          order.size(), start + static_cast<size_t>(options.task_batch_size));
+      const auto batch = static_cast<int64_t>(end - start);
+
+      // Fork one RNG per task up-front so results do not depend on the
+      // thread count or execution order.
+      std::vector<Rng> task_rngs;
+      task_rngs.reserve(static_cast<size_t>(batch));
+      for (int64_t i = 0; i < batch; ++i) task_rngs.push_back(rng->Fork());
+
+      // Local phase (Algorithm 2 lines 4-10) per task, against the globals
+      // snapshotted at batch start; tasks are independent, so they can run
+      // on worker threads. Each slot holds the adapted model plus its
+      // query-set loss.
+      struct TaskResult {
+        TaskModel model;
+        double query_loss = 0.0;
+      };
+      std::vector<TaskResult> results(static_cast<size_t>(batch));
+      auto run_task = [&](int64_t i) {
+        const EncodedMetaTask& task =
+            tasks[static_cast<size_t>(order[start + static_cast<size_t>(i)])];
+        TaskModel tm = learner->CreateTaskModel(task.uis_feature);
+        LocallyAdapt(&tm, task.support_x, task.support_y, options.local_steps,
+                     options.local_batch_size, options.local_lr,
+                     &task_rngs[static_cast<size_t>(i)]);
+        // Global phase contribution (lines 12-13): query-set gradients at
+        // the adapted parameters (first-order meta-gradient; the paper's
+        // one-step update "like [54]").
+        tm.ZeroGrad();
+        results[static_cast<size_t>(i)].query_loss =
+            tm.AccumulateBatch(task.query_x, task.query_y);
+        results[static_cast<size_t>(i)].model = std::move(tm);
+      };
+
+      const int64_t threads =
+          std::max<int64_t>(1, std::min(options.num_threads, batch));
+      if (threads <= 1) {
+        for (int64_t i = 0; i < batch; ++i) run_task(i);
+      } else {
+        std::atomic<int64_t> next{0};
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<size_t>(threads));
+        for (int64_t t = 0; t < threads; ++t) {
+          workers.emplace_back([&] {
+            for (int64_t i = next.fetch_add(1); i < batch;
+                 i = next.fetch_add(1)) {
+              run_task(i);
+            }
+          });
+        }
+        for (std::thread& w : workers) w.join();
+      }
+
+      // Aggregate in task order (thread-count invariant), then the one-step
+      // global update and the memory writes. Under FOMAML the aggregate is
+      // the query-set gradients at the adapted parameters; under Reptile it
+      // is (φ − θ̂) per block, so the same descent step moves φ toward θ̂.
+      const bool reptile = options.algorithm == MetaAlgorithm::kReptile;
+      const std::vector<double> phi_r = learner->phi_r().GetParameters();
+      const std::vector<double> phi_tau = learner->phi_tau().GetParameters();
+      const std::vector<double> phi_clf = learner->phi_clf().GetParameters();
+      auto reptile_delta = [](const std::vector<double>& phi,
+                              const std::vector<double>& theta) {
+        std::vector<double> d(phi.size());
+        for (size_t j = 0; j < phi.size(); ++j) d[j] = phi[j] - theta[j];
+        return d;
+      };
+
+      std::vector<double> grad_r;
+      std::vector<double> grad_tau;
+      std::vector<double> grad_clf;
+      for (int64_t i = 0; i < batch; ++i) {
+        const TaskModel& tm = results[static_cast<size_t>(i)].model;
+        epoch_loss += results[static_cast<size_t>(i)].query_loss;
+        ++counted;
+        if (reptile) {
+          AddInto(reptile_delta(phi_r, tm.f_r().GetParameters()), &grad_r);
+          AddInto(reptile_delta(phi_tau, tm.f_tau().GetParameters()),
+                  &grad_tau);
+          AddInto(reptile_delta(phi_clf, tm.f_clf().GetParameters()),
+                  &grad_clf);
+        } else {
+          AddInto(tm.f_r().GetGradients(), &grad_r);
+          AddInto(tm.f_tau().GetGradients(), &grad_tau);
+          AddInto(tm.f_clf().GetGradients(), &grad_clf);
+        }
+        learner->UpdateMemories(tm, options.eta, options.beta, options.gamma);
+      }
+
+      ApplyGlobal(learner->mutable_phi_r(), grad_r, options.global_lr, batch);
+      ApplyGlobal(learner->mutable_phi_tau(), grad_tau, options.global_lr,
+                  batch);
+      ApplyGlobal(learner->mutable_phi_clf(), grad_clf, options.global_lr,
+                  batch);
+    }
+    local_stats.epoch_query_loss.push_back(
+        counted > 0 ? epoch_loss / static_cast<double>(counted) : 0.0);
+  }
+  if (stats != nullptr) *stats = std::move(local_stats);
+  return Status::OK();
+}
+
+}  // namespace lte::core

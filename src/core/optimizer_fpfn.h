@@ -1,0 +1,53 @@
+#ifndef LTE_CORE_OPTIMIZER_FPFN_H_
+#define LTE_CORE_OPTIMIZER_FPFN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/meta_task.h"
+#include "geom/region.h"
+
+namespace lte::core {
+
+/// Expansion extents of the few-shot prediction optimizer (paper Section
+/// VII-B). N_sup / N_sub are fractions of k_u; the paper's defaults are 30%
+/// and 10%.
+struct FpFnOptions {
+  double outer_fraction = 0.30;
+  double inner_fraction = 0.10;
+};
+
+/// Heuristic refinement of few-shot predictions (the Meta* variant).
+///
+/// From the positively labelled C^s centers it builds:
+///  * an *outer-subregion* — the union of large convex hulls over each
+///    positive center's N_sup nearest C^u centers — conceived to be a
+///    superset of the real UIS: predictions outside it are revised from
+///    positive to negative (kills far-away false positives);
+///  * an *inner-subregion* — the same construction with the much smaller
+///    N_sub ("conservative expansion") — conceived to be a subset of the
+///    UIS: predictions inside it are revised from negative to positive
+///    (fills small false-negative holes).
+class FpFnOptimizer {
+ public:
+  /// `center_labels` are the user's 0/1 labels of the k_s C^s centers.
+  FpFnOptimizer(const SubspaceContext& context,
+                const std::vector<double>& center_labels,
+                const FpFnOptions& options);
+
+  /// Returns the refined 0/1 prediction for a raw subspace point.
+  double Refine(const std::vector<double>& point, double prediction) const;
+
+  const geom::Region& outer_subregion() const { return outer_; }
+  const geom::Region& inner_subregion() const { return inner_; }
+  bool has_positive_centers() const { return has_positive_; }
+
+ private:
+  geom::Region outer_;
+  geom::Region inner_;
+  bool has_positive_ = false;
+};
+
+}  // namespace lte::core
+
+#endif  // LTE_CORE_OPTIMIZER_FPFN_H_

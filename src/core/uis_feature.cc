@@ -1,0 +1,23 @@
+#include "core/uis_feature.h"
+
+#include "common/check.h"
+
+namespace lte::core {
+
+std::vector<double> BuildUisFeature(
+    const std::vector<double>& center_labels,
+    const cluster::ProximityMatrix& proximity_s, int64_t expansion_l) {
+  LTE_CHECK_EQ(static_cast<int64_t>(center_labels.size()),
+               proximity_s.num_rows());
+  LTE_CHECK_GT(expansion_l, 0);
+  std::vector<double> v(static_cast<size_t>(proximity_s.num_cols()), 0.0);
+  for (int64_t s = 0; s < proximity_s.num_rows(); ++s) {
+    if (center_labels[static_cast<size_t>(s)] <= 0.5) continue;
+    for (int64_t u : proximity_s.NearestCols(s, expansion_l)) {
+      v[static_cast<size_t>(u)] = 1.0;
+    }
+  }
+  return v;
+}
+
+}  // namespace lte::core

@@ -1,0 +1,26 @@
+#ifndef LTE_CORE_UIS_FEATURE_H_
+#define LTE_CORE_UIS_FEATURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/proximity.h"
+
+namespace lte::core {
+
+/// Builds the UIS feature vector v_R ∈ R^{k_u} (paper Section VI-A).
+///
+/// `center_labels` holds the 0/1 interest labels of the k_s cluster centers
+/// of C^s (the tuples a user labels during initial exploration, or the
+/// simulated labels of a meta-task's support set). For every center labelled
+/// 1, its `expansion_l` nearest C^u centers (via the k_s x k_u proximity
+/// matrix P^s) switch the corresponding bits of the k_u-length vector to 1 —
+/// the heuristic expansion that densifies the otherwise sparse k_s-bit
+/// vector.
+std::vector<double> BuildUisFeature(const std::vector<double>& center_labels,
+                                    const cluster::ProximityMatrix& proximity_s,
+                                    int64_t expansion_l);
+
+}  // namespace lte::core
+
+#endif  // LTE_CORE_UIS_FEATURE_H_

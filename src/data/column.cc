@@ -1,0 +1,27 @@
+#include "data/column.h"
+
+#include <algorithm>
+
+namespace lte::data {
+
+Column::Column(std::string name, std::vector<double> values)
+    : name_(std::move(name)), values_(std::move(values)) {
+  if (!values_.empty()) {
+    const auto [lo, hi] = std::minmax_element(values_.begin(), values_.end());
+    min_ = *lo;
+    max_ = *hi;
+  }
+}
+
+void Column::Append(double v) {
+  if (values_.empty()) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  values_.push_back(v);
+}
+
+}  // namespace lte::data

@@ -1,0 +1,46 @@
+#ifndef LTE_DATA_COLUMN_H_
+#define LTE_DATA_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lte::data {
+
+/// A named numeric column.
+///
+/// LTE (like the IDE systems it reproduces: AIDE, DSM) operates on numeric
+/// attributes — the SDSS photometric attributes and the CAR attributes are all
+/// numeric — so the column store holds doubles only. Min/max are maintained
+/// lazily for normalization and domain queries.
+class Column {
+ public:
+  Column() = default;
+  explicit Column(std::string name) : name_(std::move(name)) {}
+  Column(std::string name, std::vector<double> values);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& values() const { return values_; }
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+  bool empty() const { return values_.empty(); }
+
+  double value(int64_t row) const { return values_[static_cast<size_t>(row)]; }
+
+  /// Appends one value, updating cached min/max.
+  void Append(double v);
+
+  /// Smallest value; 0 for an empty column.
+  double min() const { return empty() ? 0.0 : min_; }
+  /// Largest value; 0 for an empty column.
+  double max() const { return empty() ? 0.0 : max_; }
+
+ private:
+  std::string name_;
+  std::vector<double> values_;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace lte::data
+
+#endif  // LTE_DATA_COLUMN_H_

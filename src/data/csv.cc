@@ -1,0 +1,94 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace lte::data {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  // A trailing comma denotes an empty last cell.
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+Status ParseDouble(const std::string& cell, int64_t line_no, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end == cell.c_str() || *end != '\0') {
+    return Status::InvalidArgument("non-numeric cell '" + cell + "' at line " +
+                                   std::to_string(line_no));
+  }
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReadCsv(const std::string& path, Table* table) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV file: " + path);
+  }
+  // Strip a possible trailing carriage return from files written on Windows.
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::vector<std::string> header = SplitLine(line);
+  if (header.empty()) {
+    return Status::InvalidArgument("CSV header has no columns: " + path);
+  }
+  Table out(header);
+  int64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = SplitLine(line);
+    if (cells.size() != header.size()) {
+      return Status::InvalidArgument("row width mismatch at line " +
+                                     std::to_string(line_no));
+    }
+    std::vector<double> row(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      LTE_RETURN_IF_ERROR(ParseDouble(cells[i], line_no, &row[i]));
+    }
+    LTE_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  *table = std::move(out);
+  return Status::OK();
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const std::vector<std::string> names = table.AttributeNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out << ',';
+    out << names[i];
+  }
+  out << '\n';
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int64_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << ',';
+      out << table.column(c).value(r);
+    }
+    out << '\n';
+  }
+  if (!out.good()) {
+    return Status::IoError("write failure on " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace lte::data

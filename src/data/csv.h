@@ -1,0 +1,22 @@
+#ifndef LTE_DATA_CSV_H_
+#define LTE_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace lte::data {
+
+/// Reads a comma-separated file with a header row of attribute names and
+/// numeric cells into `*table`. Empty lines are skipped. Fails with IoError
+/// if the file cannot be opened and InvalidArgument on malformed rows or
+/// non-numeric cells.
+Status ReadCsv(const std::string& path, Table* table);
+
+/// Writes `table` to `path` as CSV with a header row.
+Status WriteCsv(const Table& table, const std::string& path);
+
+}  // namespace lte::data
+
+#endif  // LTE_DATA_CSV_H_

@@ -1,0 +1,48 @@
+#include "data/sampling.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lte::data {
+
+std::vector<int64_t> SampleRowIndices(const Table& table, int64_t k,
+                                      Rng* rng) {
+  const int64_t n = table.num_rows();
+  k = std::min(k, n);
+  if (k <= 0) return {};
+  return rng->SampleWithoutReplacement(n, k);
+}
+
+std::vector<int64_t> SampleRowFraction(const Table& table, double fraction,
+                                       Rng* rng) {
+  LTE_CHECK_GT(fraction, 0.0);
+  LTE_CHECK_LE(fraction, 1.0);
+  const int64_t n = table.num_rows();
+  if (n == 0) return {};
+  const int64_t k =
+      std::max<int64_t>(1, static_cast<int64_t>(fraction * static_cast<double>(n)));
+  return SampleRowIndices(table, k, rng);
+}
+
+Table SampleRows(const Table& table, int64_t k, Rng* rng) {
+  return table.SelectRows(SampleRowIndices(table, k, rng));
+}
+
+ReservoirSampler::ReservoirSampler(int64_t capacity, Rng* rng)
+    : capacity_(capacity), rng_(rng) {
+  LTE_CHECK_GT(capacity, 0);
+  reservoir_.reserve(static_cast<size_t>(capacity));
+}
+
+void ReservoirSampler::Offer(int64_t item) {
+  ++seen_;
+  if (static_cast<int64_t>(reservoir_.size()) < capacity_) {
+    reservoir_.push_back(item);
+    return;
+  }
+  const int64_t j = rng_->UniformInt(seen_);
+  if (j < capacity_) reservoir_[static_cast<size_t>(j)] = item;
+}
+
+}  // namespace lte::data

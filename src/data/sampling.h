@@ -1,0 +1,50 @@
+#ifndef LTE_DATA_SAMPLING_H_
+#define LTE_DATA_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace lte::data {
+
+/// Uniform sample of `k` distinct row indices from `table` (k is clamped to
+/// num_rows). Used by the clustering step, which runs on a ~1% sample of the
+/// meta-subspace (paper Section V-B), and by the tabular encoder, which fits
+/// GMM/JKC on a sampled set (paper Section VII-A).
+std::vector<int64_t> SampleRowIndices(const Table& table, int64_t k, Rng* rng);
+
+/// Uniform sample of a `fraction` in (0, 1] of rows; at least one row is
+/// returned for non-empty tables.
+std::vector<int64_t> SampleRowFraction(const Table& table, double fraction,
+                                       Rng* rng);
+
+/// Materializes the sampled rows into a new table.
+Table SampleRows(const Table& table, int64_t k, Rng* rng);
+
+/// Reservoir sampling over a stream of row indices [0, n). Maintains a
+/// uniform sample of size k without knowing n in advance; used for the
+/// dynamic-maintenance path (paper Section V-E) where the exploratory
+/// database is updated incrementally.
+class ReservoirSampler {
+ public:
+  ReservoirSampler(int64_t capacity, Rng* rng);
+
+  /// Offers one item; it replaces a random reservoir slot with probability
+  /// capacity / items_seen.
+  void Offer(int64_t item);
+
+  const std::vector<int64_t>& reservoir() const { return reservoir_; }
+  int64_t items_seen() const { return seen_; }
+
+ private:
+  int64_t capacity_;
+  int64_t seen_ = 0;
+  std::vector<int64_t> reservoir_;
+  Rng* rng_;
+};
+
+}  // namespace lte::data
+
+#endif  // LTE_DATA_SAMPLING_H_

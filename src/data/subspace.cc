@@ -1,0 +1,47 @@
+#include "data/subspace.h"
+
+#include "common/check.h"
+
+namespace lte::data {
+
+std::vector<Subspace> DecomposeSpace(
+    const std::vector<int64_t>& attribute_indices, int64_t subspace_dim,
+    Rng* rng) {
+  LTE_CHECK_GT(subspace_dim, 0);
+  std::vector<int64_t> shuffled = attribute_indices;
+  rng->Shuffle(&shuffled);
+  std::vector<Subspace> out;
+  for (size_t i = 0; i < shuffled.size(); i += static_cast<size_t>(subspace_dim)) {
+    Subspace s;
+    for (size_t j = i;
+         j < std::min(shuffled.size(), i + static_cast<size_t>(subspace_dim));
+         ++j) {
+      s.attribute_indices.push_back(shuffled[j]);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> ProjectRows(const Table& table,
+                                             const Subspace& subspace) {
+  std::vector<std::vector<double>> pts;
+  pts.reserve(static_cast<size_t>(table.num_rows()));
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    pts.push_back(table.RowProjected(r, subspace.attribute_indices));
+  }
+  return pts;
+}
+
+std::vector<std::vector<double>> ProjectRows(const Table& table,
+                                             const Subspace& subspace,
+                                             const std::vector<int64_t>& rows) {
+  std::vector<std::vector<double>> pts;
+  pts.reserve(rows.size());
+  for (int64_t r : rows) {
+    pts.push_back(table.RowProjected(r, subspace.attribute_indices));
+  }
+  return pts;
+}
+
+}  // namespace lte::data

@@ -1,0 +1,45 @@
+#ifndef LTE_DATA_SUBSPACE_H_
+#define LTE_DATA_SUBSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace lte::data {
+
+/// A low-dimensional projection of the user interest space.
+///
+/// Existing IDEs (and LTE) decompose the user interest space D^u into a set of
+/// disjoint low-dimensional subspaces D_1 x ... x D_n (paper Section III-A).
+/// A `Subspace` holds the column indices (into the source table) it projects.
+struct Subspace {
+  std::vector<int64_t> attribute_indices;
+
+  int64_t dimension() const {
+    return static_cast<int64_t>(attribute_indices.size());
+  }
+};
+
+/// Splits `attribute_indices` into disjoint subspaces of at most
+/// `subspace_dim` attributes each (the paper uses 2-D subspaces). The split
+/// is random (paper Section V-E: "the domain space is randomly split into
+/// meta-subspaces, because we assume zero knowledge about data semantics").
+/// An odd leftover attribute forms a 1-D subspace.
+std::vector<Subspace> DecomposeSpace(const std::vector<int64_t>& attribute_indices,
+                                     int64_t subspace_dim, Rng* rng);
+
+/// Projects the rows of `table` onto a subspace: one dense point (of the
+/// subspace's dimension) per row.
+std::vector<std::vector<double>> ProjectRows(const Table& table,
+                                             const Subspace& subspace);
+
+/// Projects only the selected rows.
+std::vector<std::vector<double>> ProjectRows(const Table& table,
+                                             const Subspace& subspace,
+                                             const std::vector<int64_t>& rows);
+
+}  // namespace lte::data
+
+#endif  // LTE_DATA_SUBSPACE_H_

@@ -1,0 +1,162 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace lte::data {
+namespace {
+
+// One component of a 1-D Gaussian mixture.
+struct MixComponent {
+  double weight;
+  double mean;
+  double stddev;
+};
+
+double DrawMixture(const std::vector<MixComponent>& comps, Rng* rng) {
+  double u = rng->Uniform();
+  for (const MixComponent& c : comps) {
+    if (u < c.weight) return rng->Normal(c.mean, c.stddev);
+    u -= c.weight;
+  }
+  return rng->Normal(comps.back().mean, comps.back().stddev);
+}
+
+}  // namespace
+
+Table MakeSdssLike(int64_t num_rows, Rng* rng) {
+  LTE_CHECK_GT(num_rows, 0);
+  Table t({"rowc", "colc", "ra", "dec", "sky_u", "sky_g", "rowv", "colv"});
+
+  // Spatial cluster centers for the correlated (rowc, colc) and (ra, dec)
+  // pairs, mimicking the patchy layout of sky-survey frames.
+  const std::vector<std::pair<double, double>> frame_centers = {
+      {200.0, 300.0}, {800.0, 700.0}, {1200.0, 400.0}, {500.0, 1100.0}};
+  const std::vector<std::pair<double, double>> sky_centers = {
+      {30.0, -10.0}, {150.0, 25.0}, {220.0, 5.0}};
+
+  const std::vector<MixComponent> sky_u_mix = {
+      {0.5, 21.5, 0.4}, {0.3, 22.8, 0.3}, {0.2, 24.0, 0.5}};
+  const std::vector<MixComponent> sky_g_mix = {
+      {0.6, 20.7, 0.35}, {0.4, 22.3, 0.45}};
+  const std::vector<MixComponent> velocity_mix = {
+      {0.7, 0.0, 0.8}, {0.15, -4.0, 1.2}, {0.15, 4.0, 1.2}};
+
+  for (int64_t i = 0; i < num_rows; ++i) {
+    const auto& fc =
+        frame_centers[static_cast<size_t>(rng->UniformInt(
+            static_cast<int64_t>(frame_centers.size())))];
+    const auto& sc = sky_centers[static_cast<size_t>(
+        rng->UniformInt(static_cast<int64_t>(sky_centers.size())))];
+    std::vector<double> row = {
+        rng->Normal(fc.first, 120.0),   // rowc
+        rng->Normal(fc.second, 120.0),  // colc
+        rng->Normal(sc.first, 12.0),    // ra
+        rng->Normal(sc.second, 6.0),    // dec
+        DrawMixture(sky_u_mix, rng),    // sky_u
+        DrawMixture(sky_g_mix, rng),    // sky_g
+        DrawMixture(velocity_mix, rng), // rowv
+        DrawMixture(velocity_mix, rng), // colv
+    };
+    Status s = t.AppendRow(row);
+    LTE_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+  return t;
+}
+
+Table MakeCarLike(int64_t num_rows, Rng* rng) {
+  LTE_CHECK_GT(num_rows, 0);
+  Table t({"price", "year", "mileage", "power_ps", "displacement"});
+  for (int64_t i = 0; i < num_rows; ++i) {
+    // Year: smooth trend over 1995..2016 with more recent cars listed more.
+    const double year = 1995.0 + 21.0 * std::sqrt(rng->Uniform());
+    // Mileage decays with age; heavy right tail.
+    const double age = 2016.0 - year;
+    const double mileage =
+        std::max(0.0, age * 12000.0 + std::exp(rng->Normal(9.2, 0.8)) - 5000.0);
+    // Power: a few engine classes (smooth plateaus, suited to JKC).
+    const double cls = rng->Uniform();
+    double power;
+    if (cls < 0.45) {
+      power = rng->Normal(75.0, 10.0);
+    } else if (cls < 0.8) {
+      power = rng->Normal(115.0, 14.0);
+    } else if (cls < 0.95) {
+      power = rng->Normal(170.0, 18.0);
+    } else {
+      power = rng->Normal(260.0, 35.0);
+    }
+    power = std::max(30.0, power);
+    const double displacement = std::max(0.8, power * 0.013 + rng->Normal(0.3, 0.15));
+    // Price: log-normal, appreciating with recency and power, depreciating
+    // with mileage.
+    const double log_price = 7.0 + 0.09 * (year - 1995.0) + 0.004 * power -
+                             mileage * 2.3e-6 + rng->Normal(0.0, 0.35);
+    const double price = std::exp(log_price);
+    Status s = t.AppendRow({price, year, mileage, power, displacement});
+    LTE_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+  return t;
+}
+
+Table MakeCarListings(int64_t num_rows, Rng* rng) {
+  LTE_CHECK_GT(num_rows, 0);
+  const Table base = MakeCarLike(num_rows, rng);
+  Table t({"price", "year", "mileage", "power_ps", "displacement", "gearbox",
+           "fuel_type"});
+  for (int64_t r = 0; r < num_rows; ++r) {
+    std::vector<double> row = base.Row(r);
+    const double power = row[3];
+    // Automatics skew toward powerful cars; diesels toward mid-range power
+    // and high mileage.
+    const double gearbox = rng->Bernoulli(Clamp(power / 300.0, 0.05, 0.8))
+                               ? 1.0
+                               : 0.0;
+    double fuel;
+    if (power > 90.0 && power < 160.0 && rng->Bernoulli(0.55)) {
+      fuel = 1.0;  // diesel
+    } else if (rng->Bernoulli(0.05)) {
+      fuel = 2.0;  // other
+    } else {
+      fuel = 0.0;  // petrol
+    }
+    row.push_back(gearbox);
+    row.push_back(fuel);
+    Status s = t.AppendRow(row);
+    LTE_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+  return t;
+}
+
+Table MakeBlobs(int64_t num_rows, int64_t num_attributes, int64_t num_blobs,
+                Rng* rng) {
+  LTE_CHECK_GT(num_rows, 0);
+  LTE_CHECK_GT(num_attributes, 0);
+  LTE_CHECK_GT(num_blobs, 0);
+  std::vector<std::string> names;
+  for (int64_t a = 0; a < num_attributes; ++a) {
+    names.push_back("a" + std::to_string(a));
+  }
+  // Blob centers uniform in [0, 10]^d with unit spread.
+  std::vector<std::vector<double>> centers;
+  for (int64_t b = 0; b < num_blobs; ++b) {
+    std::vector<double> c;
+    for (int64_t a = 0; a < num_attributes; ++a) c.push_back(rng->Uniform(0.0, 10.0));
+    centers.push_back(std::move(c));
+  }
+  Table t(names);
+  for (int64_t i = 0; i < num_rows; ++i) {
+    const auto& c = centers[static_cast<size_t>(rng->UniformInt(num_blobs))];
+    std::vector<double> row(static_cast<size_t>(num_attributes));
+    for (size_t a = 0; a < row.size(); ++a) row[a] = rng->Normal(c[a], 1.0);
+    Status s = t.AppendRow(row);
+    LTE_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+  return t;
+}
+
+}  // namespace lte::data

@@ -1,0 +1,98 @@
+#include "data/table.h"
+
+#include "common/check.h"
+
+namespace lte::data {
+
+Table::Table(const std::vector<std::string>& attribute_names) {
+  columns_.reserve(attribute_names.size());
+  for (const std::string& name : attribute_names) {
+    columns_.emplace_back(name);
+  }
+}
+
+const Column& Table::column(int64_t i) const {
+  LTE_CHECK_GE(i, 0);
+  LTE_CHECK_LT(i, num_columns());
+  return columns_[static_cast<size_t>(i)];
+}
+
+Column* Table::mutable_column(int64_t i) {
+  LTE_CHECK_GE(i, 0);
+  LTE_CHECK_LT(i, num_columns());
+  return &columns_[static_cast<size_t>(i)];
+}
+
+std::vector<std::string> Table::AttributeNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& c : columns_) names.push_back(c.name());
+  return names;
+}
+
+int64_t Table::ColumnIndex(const std::string& name) const {
+  for (int64_t i = 0; i < num_columns(); ++i) {
+    if (columns_[static_cast<size_t>(i)].name() == name) return i;
+  }
+  return -1;
+}
+
+Status Table::AppendRow(const std::vector<double>& row) {
+  if (static_cast<int64_t>(row.size()) != num_columns()) {
+    return Status::InvalidArgument("row width does not match table width");
+  }
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].Append(row[i]);
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Table::AddColumn(Column column) {
+  if (ColumnIndex(column.name()) >= 0) {
+    return Status::InvalidArgument("duplicate column name: " + column.name());
+  }
+  if (!columns_.empty() && column.size() != num_rows_) {
+    return Status::InvalidArgument("column length mismatch: " + column.name());
+  }
+  if (columns_.empty()) num_rows_ = column.size();
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+std::vector<double> Table::Row(int64_t row) const {
+  LTE_CHECK_GE(row, 0);
+  LTE_CHECK_LT(row, num_rows_);
+  std::vector<double> out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) out.push_back(c.value(row));
+  return out;
+}
+
+std::vector<double> Table::RowProjected(
+    int64_t row, const std::vector<int64_t>& cols) const {
+  LTE_CHECK_GE(row, 0);
+  LTE_CHECK_LT(row, num_rows_);
+  std::vector<double> out;
+  out.reserve(cols.size());
+  for (int64_t c : cols) out.push_back(column(c).value(row));
+  return out;
+}
+
+Table Table::Project(const std::vector<int64_t>& cols) const {
+  Table out;
+  for (int64_t c : cols) {
+    Status s = out.AddColumn(column(c));
+    LTE_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+  return out;
+}
+
+Table Table::SelectRows(const std::vector<int64_t>& rows) const {
+  Table out(AttributeNames());
+  for (int64_t r : rows) {
+    Status s = out.AppendRow(Row(r));
+    LTE_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+  return out;
+}
+
+}  // namespace lte::data

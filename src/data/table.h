@@ -1,0 +1,65 @@
+#ifndef LTE_DATA_TABLE_H_
+#define LTE_DATA_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/column.h"
+
+namespace lte::data {
+
+/// An in-memory columnar table: the exploratory database substrate.
+///
+/// All LTE components consume tuples (rows) or attribute columns from a
+/// `Table`. Columns are equal-length and numeric. Fallible mutation returns
+/// `Status`; accessors with index arguments check bounds via invariant checks
+/// because out-of-range access is a programmer error, not an input error.
+class Table {
+ public:
+  Table() = default;
+
+  /// Creates a table with the given attribute names and no rows.
+  explicit Table(const std::vector<std::string>& attribute_names);
+
+  int64_t num_rows() const { return num_rows_; }
+  int64_t num_columns() const { return static_cast<int64_t>(columns_.size()); }
+
+  const Column& column(int64_t i) const;
+  Column* mutable_column(int64_t i);
+
+  /// All attribute names, in column order.
+  std::vector<std::string> AttributeNames() const;
+
+  /// Index of the column named `name`, or -1 if absent.
+  int64_t ColumnIndex(const std::string& name) const;
+
+  /// Appends a full-width row. Fails if row width != num_columns().
+  Status AppendRow(const std::vector<double>& row);
+
+  /// Adds a fully populated column. Fails on duplicate name or length
+  /// mismatch with existing columns.
+  Status AddColumn(Column column);
+
+  /// The `row`-th tuple as a dense vector in column order.
+  std::vector<double> Row(int64_t row) const;
+
+  /// Projection of the `row`-th tuple onto the given column indices.
+  std::vector<double> RowProjected(int64_t row,
+                                   const std::vector<int64_t>& cols) const;
+
+  /// A new table containing only the given columns (copied).
+  Table Project(const std::vector<int64_t>& cols) const;
+
+  /// A new table containing only the given rows (copied).
+  Table SelectRows(const std::vector<int64_t>& rows) const;
+
+ private:
+  std::vector<Column> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace lte::data
+
+#endif  // LTE_DATA_TABLE_H_

@@ -1,0 +1,38 @@
+#include "eval/convergence.h"
+
+#include "common/check.h"
+
+namespace lte::eval {
+
+ConvergenceTracker::ConvergenceTracker(double churn_threshold,
+                                       int64_t stable_rounds)
+    : churn_threshold_(churn_threshold), stable_rounds_(stable_rounds) {
+  LTE_CHECK_GE(churn_threshold, 0.0);
+  LTE_CHECK_GT(stable_rounds, 0);
+}
+
+void ConvergenceTracker::AddRound(const std::vector<double>& predictions) {
+  LTE_CHECK(!predictions.empty());
+  ++rounds_;
+  if (previous_.empty()) {
+    previous_ = predictions;
+    last_churn_ = 1.0;
+    return;
+  }
+  LTE_CHECK_EQ(previous_.size(), predictions.size());
+  int64_t flips = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if ((previous_[i] > 0.5) != (predictions[i] > 0.5)) ++flips;
+  }
+  last_churn_ =
+      static_cast<double>(flips) / static_cast<double>(predictions.size());
+  consecutive_stable_ =
+      last_churn_ <= churn_threshold_ ? consecutive_stable_ + 1 : 0;
+  previous_ = predictions;
+}
+
+bool ConvergenceTracker::Converged() const {
+  return consecutive_stable_ >= stable_rounds_;
+}
+
+}  // namespace lte::eval

@@ -1,0 +1,50 @@
+#ifndef LTE_EVAL_CONVERGENCE_H_
+#define LTE_EVAL_CONVERGENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lte::eval {
+
+/// Ground-truth-free convergence indicator for iterative exploration (paper
+/// Section III-B, "Convergence": the user sets budgets or uses indicators
+/// like DSM's three-set metric to decide when to stop).
+///
+/// The tracker watches the classifier's 0/1 predictions over a fixed probe
+/// set across exploration rounds. The *churn* of a round is the fraction of
+/// probe tuples whose prediction flipped relative to the previous round;
+/// when churn stays below a threshold for a few consecutive rounds, the
+/// explored region has stabilized and labelling can stop.
+class ConvergenceTracker {
+ public:
+  /// `churn_threshold`: flips-per-probe below which a round counts as
+  /// stable. `stable_rounds`: consecutive stable rounds required.
+  explicit ConvergenceTracker(double churn_threshold = 0.01,
+                              int64_t stable_rounds = 2);
+
+  /// Records one round's predictions over the probe set (all rounds must
+  /// use the same probe set, in the same order).
+  void AddRound(const std::vector<double>& predictions);
+
+  /// Flip fraction of the latest round vs. its predecessor; 1.0 until two
+  /// rounds have been recorded.
+  double LastChurn() const { return last_churn_; }
+
+  /// True once `stable_rounds` consecutive rounds each churned below the
+  /// threshold.
+  bool Converged() const;
+
+  int64_t rounds() const { return rounds_; }
+
+ private:
+  double churn_threshold_;
+  int64_t stable_rounds_;
+  int64_t rounds_ = 0;
+  int64_t consecutive_stable_ = 0;
+  double last_churn_ = 1.0;
+  std::vector<double> previous_;
+};
+
+}  // namespace lte::eval
+
+#endif  // LTE_EVAL_CONVERGENCE_H_

@@ -1,0 +1,153 @@
+#ifndef LTE_EVAL_EXPERIMENT_H_
+#define LTE_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/active_learner.h"
+#include "baselines/aide.h"
+#include "baselines/dsm.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/lte.h"
+#include "data/subspace.h"
+#include "data/table.h"
+#include "eval/metrics.h"
+#include "eval/uir_generator.h"
+#include "preprocess/normalizer.h"
+#include "svm/svm.h"
+
+namespace lte::eval {
+
+/// All methods evaluated by the paper (Section VIII-A), plus AIDE — the
+/// decision-tree explore-by-example system of the paper's Table I.
+enum class Method {
+  kAide,      // Decision-tree explore-by-example baseline [2].
+  kAlSvm,     // Active-learning SVM baseline [4].
+  kDsm,       // Dual-space model baseline [5].
+  kSvm,       // Plain SVM on the initial tuples (Section VIII-C).
+  kSvmR,      // SVM + tabular data preprocessing (SVM^r).
+  kBasic,     // LTE's NN classifier without meta-learning.
+  kMeta,      // Meta-learned classifier.
+  kMetaStar,  // Meta + FP/FN optimizer.
+};
+
+std::string MethodName(Method method);
+
+/// Harness configuration shared by every benchmark binary.
+struct RunnerOptions {
+  core::ExplorerOptions explorer;
+  svm::Kernel kernel;
+  svm::SmoOptions smo;
+  /// Rows sampled for F1 evaluation.
+  int64_t eval_sample_rows = 1500;
+  /// Pool size for the active-learning baselines.
+  int64_t pool_rows = 1200;
+  /// AL-SVM / DSM loop parameters.
+  int64_t al_initial_samples = 10;
+  int64_t al_batch = 5;
+  /// Probability that the simulated user mislabels a tuple (flipped 0/1).
+  /// 0 reproduces the paper's noise-free protocol; the label-noise
+  /// robustness bench sweeps this.
+  double label_noise = 0.0;
+  uint64_t seed = 42;
+};
+
+/// One method's outcome on one exploration task.
+struct ExperimentResult {
+  double f1 = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  /// Online exploration wall-time (fast adaptation for the LTE variants,
+  /// the whole active-learning loop for the baselines) — paper Figure 6.
+  double online_seconds = 0.0;
+  /// Oracle labels consumed.
+  int64_t labels_used = 0;
+};
+
+/// Drives every experiment of the paper: owns the (normalized) dataset, an
+/// independent ground-truth UIR generator, the evaluation row sample, and a
+/// cache of pre-trained Explorers keyed by labelling budget.
+///
+/// Budget convention (paper Section VIII-A): for the LTE variants B is the
+/// per-subspace support-set size (k_s + Δ = B); for the active-learning
+/// baselines B is the total number of labels granted to the loop.
+class ExperimentRunner {
+ public:
+  ExperimentRunner(data::Table table, std::vector<data::Subspace> subspaces,
+                   RunnerOptions options);
+
+  /// Normalizes the data, samples evaluation/pool rows, and initializes the
+  /// ground-truth UIR generator. Must be called before anything else.
+  Status Init();
+
+  /// Pre-trains (and caches) the Explorer for a budget. `train_meta=false`
+  /// prepares contexts only (enough for Basic / SVM / SVM^r). Re-invoking
+  /// with train_meta=true upgrades a context-only explorer.
+  Status EnsureExplorer(int64_t budget, bool train_meta);
+
+  /// Ground-truth UIR over the first `num_subspaces` subspaces.
+  GroundTruthUir GenerateUir(const UisMode& mode, int64_t num_subspaces);
+
+  /// Runs one method against one UIR at one budget.
+  Status Run(Method method, const GroundTruthUir& uir, int64_t budget,
+             ExperimentResult* result);
+
+  /// Mean F1 of `method` over several UIRs at one budget.
+  Status MeanF1(Method method, const std::vector<GroundTruthUir>& uirs,
+                int64_t budget, double* mean_f1);
+
+  /// Smallest budget from `budgets` (ascending) whose mean F1 over `uirs`
+  /// reaches `target_f1`; sets -1 when none does (paper Figure 4(b)).
+  Status FindBudgetForTarget(Method method,
+                             const std::vector<GroundTruthUir>& uirs,
+                             double target_f1,
+                             const std::vector<int64_t>& budgets,
+                             int64_t* budget_out);
+
+  const data::Table& normalized_table() const { return normalized_table_; }
+  const std::vector<data::Subspace>& subspaces() const { return subspaces_; }
+
+  /// Pre-training cost of the cached meta explorer for `budget` (Figure
+  /// 8(b)); 0 when not trained.
+  double PretrainSeconds(int64_t budget) const;
+  double TaskGenSeconds(int64_t budget) const;
+
+ private:
+  Status RunLte(core::Variant variant, const GroundTruthUir& uir,
+                int64_t budget, ExperimentResult* result);
+  Status RunSubspaceSvm(bool encoded, const GroundTruthUir& uir,
+                        int64_t budget, ExperimentResult* result);
+  Status RunPoolBaseline(Method method, const GroundTruthUir& uir,
+                         int64_t budget, ExperimentResult* result);
+
+  // Evaluates a 0/1 row predictor over the evaluation sample.
+  template <typename Predictor>
+  void Score(const GroundTruthUir& uir, const Predictor& predict,
+             ExperimentResult* result) const;
+
+  data::Table raw_table_;
+  std::vector<data::Subspace> subspaces_;
+  RunnerOptions options_;
+  Rng rng_;
+
+  bool initialized_ = false;
+  data::Table normalized_table_;
+  preprocess::MinMaxNormalizer normalizer_;
+  UirGenerator uir_generator_;
+  std::vector<int64_t> eval_rows_;
+  std::vector<int64_t> pool_rows_;
+
+  struct CachedExplorer {
+    std::unique_ptr<core::Explorer> explorer;
+    bool meta = false;
+  };
+  std::map<int64_t, CachedExplorer> explorers_;  // Keyed by budget.
+};
+
+}  // namespace lte::eval
+
+#endif  // LTE_EVAL_EXPERIMENT_H_

@@ -1,0 +1,56 @@
+#include "eval/metrics.h"
+
+#include "common/check.h"
+
+namespace lte::eval {
+
+void ConfusionCounts::Add(double truth, double prediction) {
+  const bool t = truth > 0.5;
+  const bool p = prediction > 0.5;
+  if (t && p) {
+    ++true_positive;
+  } else if (!t && p) {
+    ++false_positive;
+  } else if (!t && !p) {
+    ++true_negative;
+  } else {
+    ++false_negative;
+  }
+}
+
+double Precision(const ConfusionCounts& c) {
+  const int64_t denom = c.true_positive + c.false_positive;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(c.true_positive) /
+                          static_cast<double>(denom);
+}
+
+double Recall(const ConfusionCounts& c) {
+  const int64_t denom = c.true_positive + c.false_negative;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(c.true_positive) /
+                          static_cast<double>(denom);
+}
+
+double F1Score(const ConfusionCounts& c) {
+  const double p = Precision(c);
+  const double r = Recall(c);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+ConfusionCounts Evaluate(const std::vector<double>& truths,
+                         const std::vector<double>& predictions) {
+  LTE_CHECK_EQ(truths.size(), predictions.size());
+  ConfusionCounts c;
+  for (size_t i = 0; i < truths.size(); ++i) c.Add(truths[i], predictions[i]);
+  return c;
+}
+
+double ThreeSetMetric(int64_t num_positive, int64_t num_uncertain) {
+  const int64_t denom = num_positive + num_uncertain;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(num_positive) /
+                          static_cast<double>(denom);
+}
+
+}  // namespace lte::eval

@@ -1,0 +1,39 @@
+#ifndef LTE_EVAL_METRICS_H_
+#define LTE_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lte::eval {
+
+/// Binary confusion counts.
+struct ConfusionCounts {
+  int64_t true_positive = 0;
+  int64_t false_positive = 0;
+  int64_t true_negative = 0;
+  int64_t false_negative = 0;
+
+  void Add(double truth, double prediction);
+};
+
+/// Precision = TP / (TP + FP); 0 when undefined.
+double Precision(const ConfusionCounts& c);
+
+/// Recall = TP / (TP + FN); 0 when undefined.
+double Recall(const ConfusionCounts& c);
+
+/// F1 = 2PR / (P + R) — the paper's accuracy metric; 0 when undefined.
+double F1Score(const ConfusionCounts& c);
+
+/// Confusion counts over paired truth/prediction vectors (0/1 each).
+ConfusionCounts Evaluate(const std::vector<double>& truths,
+                         const std::vector<double>& predictions);
+
+/// DSM's three-set metric (paper Section III-B "Convergence"): a lower
+/// bound of the F1-score computable without ground truth, from the sizes of
+/// the provably-positive and uncertain partitions of the evaluation set.
+double ThreeSetMetric(int64_t num_positive, int64_t num_uncertain);
+
+}  // namespace lte::eval
+
+#endif  // LTE_EVAL_METRICS_H_

@@ -1,0 +1,18 @@
+#include "eval/oracle.h"
+
+#include "common/check.h"
+
+namespace lte::eval {
+
+double Oracle::LabelRow(int64_t row) const {
+  ++labels_used_;
+  return uir_->Contains(table_->Row(row)) ? 1.0 : 0.0;
+}
+
+double Oracle::LabelSubspacePoint(int64_t s,
+                                  const std::vector<double>& point) const {
+  ++labels_used_;
+  return uir_->ContainsSubspacePoint(s, point) ? 1.0 : 0.0;
+}
+
+}  // namespace lte::eval

@@ -1,0 +1,39 @@
+#ifndef LTE_EVAL_ORACLE_H_
+#define LTE_EVAL_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "eval/uir_generator.h"
+
+namespace lte::eval {
+
+/// Simulated user: answers "interesting?" against a ground-truth UIR,
+/// counting how many labels were spent. This is how the paper's evaluation
+/// labels tuples too (real user feedback is out of scope, paper footnote 5).
+class Oracle {
+ public:
+  Oracle(const GroundTruthUir* uir, const data::Table* table)
+      : uir_(uir), table_(table) {}
+
+  /// Labels a full-width table row by index.
+  double LabelRow(int64_t row) const;
+
+  /// Labels a raw subspace point against subspace `s`'s region (the per-
+  /// subspace labelling of the initial exploration phase).
+  double LabelSubspacePoint(int64_t s, const std::vector<double>& point) const;
+
+  /// Total labels issued so far (rows + subspace points).
+  int64_t labels_used() const { return labels_used_; }
+  void ResetCount() { labels_used_ = 0; }
+
+ private:
+  const GroundTruthUir* uir_;
+  const data::Table* table_;
+  mutable int64_t labels_used_ = 0;
+};
+
+}  // namespace lte::eval
+
+#endif  // LTE_EVAL_ORACLE_H_

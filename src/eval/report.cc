@@ -1,0 +1,58 @@
+#include "eval/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace lte::eval {
+
+std::string FormatDouble(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddRow(const std::string& label,
+                       const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells = {label};
+  for (double v : values) cells.push_back(FormatDouble(v, precision));
+  AddRow(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emit(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << "|" << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace lte::eval

@@ -1,0 +1,41 @@
+#ifndef LTE_EVAL_REPORT_H_
+#define LTE_EVAL_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lte::eval {
+
+/// Fixed-width text table used by the benchmark binaries to print the rows
+/// and series the paper's tables and figures report.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row of preformatted cells (width mismatch is padded/truncated
+  /// to the header's column count).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: first cell is a label, the rest are doubles rendered with
+  /// `precision` digits.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string FormatDouble(double v, int precision = 3);
+
+}  // namespace lte::eval
+
+#endif  // LTE_EVAL_REPORT_H_

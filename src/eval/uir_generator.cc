@@ -1,0 +1,67 @@
+#include "eval/uir_generator.h"
+
+#include "common/check.h"
+
+namespace lte::eval {
+
+std::vector<UisMode> BenchmarkModes() {
+  return {
+      {"M1", 4, 20}, {"M2", 4, 15}, {"M3", 4, 10}, {"M4", 4, 5},
+      {"M5", 1, 20}, {"M6", 2, 20}, {"M7", 3, 20},
+  };
+}
+
+bool GroundTruthUir::Contains(const std::vector<double>& row) const {
+  for (size_t s = 0; s < subspaces.size(); ++s) {
+    std::vector<double> point;
+    point.reserve(subspaces[s].attribute_indices.size());
+    for (int64_t a : subspaces[s].attribute_indices) {
+      LTE_CHECK_LT(static_cast<size_t>(a), row.size());
+      point.push_back(row[static_cast<size_t>(a)]);
+    }
+    if (!regions[s].Contains(point)) return false;
+  }
+  return true;
+}
+
+bool GroundTruthUir::ContainsSubspacePoint(
+    int64_t s, const std::vector<double>& point) const {
+  LTE_CHECK_GE(s, 0);
+  LTE_CHECK_LT(s, static_cast<int64_t>(regions.size()));
+  return regions[static_cast<size_t>(s)].Contains(point);
+}
+
+Status UirGenerator::Init(const data::Table& table,
+                          const std::vector<data::Subspace>& subspaces,
+                          Rng* rng) {
+  if (subspaces.empty()) {
+    return Status::InvalidArgument("uir generator: no subspaces");
+  }
+  subspaces_ = subspaces;
+  generators_.clear();
+  for (const data::Subspace& s : subspaces_) {
+    core::MetaTaskGenerator gen(options_);
+    LTE_RETURN_IF_ERROR(gen.Init(data::ProjectRows(table, s), rng));
+    generators_.push_back(std::move(gen));
+  }
+  return Status::OK();
+}
+
+GroundTruthUir UirGenerator::Generate(const UisMode& mode, Rng* rng) const {
+  return Generate(mode, num_subspaces(), rng);
+}
+
+GroundTruthUir UirGenerator::Generate(const UisMode& mode,
+                                      int64_t num_subspaces, Rng* rng) const {
+  LTE_CHECK_GT(num_subspaces, 0);
+  LTE_CHECK_LE(num_subspaces, static_cast<int64_t>(generators_.size()));
+  GroundTruthUir uir;
+  for (int64_t s = 0; s < num_subspaces; ++s) {
+    uir.subspaces.push_back(subspaces_[static_cast<size_t>(s)]);
+    uir.regions.push_back(generators_[static_cast<size_t>(s)].GenerateUis(
+        mode.alpha, mode.psi, rng));
+  }
+  return uir;
+}
+
+}  // namespace lte::eval

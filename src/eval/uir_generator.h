@@ -1,0 +1,77 @@
+#ifndef LTE_EVAL_UIR_GENERATOR_H_
+#define LTE_EVAL_UIR_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/meta_task.h"
+#include "data/subspace.h"
+#include "data/table.h"
+#include "geom/region.h"
+
+namespace lte::eval {
+
+/// A UIS generation mode (α, ψ) — paper Table III defines seven benchmark
+/// modes M1-M7.
+struct UisMode {
+  std::string name;
+  int64_t alpha = 1;
+  int64_t psi = 20;
+};
+
+/// The seven benchmark modes of Table III:
+/// α=4 with ψ ∈ {20,15,10,5} (M1-M4), then ψ=20 with α ∈ {1,2,3} (M5-M7).
+std::vector<UisMode> BenchmarkModes();
+
+/// A ground-truth user interest region: one region per subspace, combined
+/// conjunctively (paper Section III-A).
+struct GroundTruthUir {
+  std::vector<data::Subspace> subspaces;
+  std::vector<geom::Region> regions;
+
+  /// Membership of a full-width row: every subspace projection must fall in
+  /// its region.
+  bool Contains(const std::vector<double>& row) const;
+
+  /// Membership of a single subspace's projected point.
+  bool ContainsSubspacePoint(int64_t s, const std::vector<double>& point) const;
+};
+
+/// Generates ground-truth UIRs the way the paper's evaluation does: each
+/// subspace region is a union of `alpha` convex hulls over ψ-NN groups of
+/// cluster centers, produced by the same formulation as meta-task generation
+/// but from an *independent* clustering of the data (so the ground truth is
+/// not tied to any method's internal state).
+class UirGenerator {
+ public:
+  explicit UirGenerator(core::MetaTaskGenOptions options)
+      : options_(options) {}
+
+  /// Clusters each subspace of `table` once.
+  Status Init(const data::Table& table,
+              const std::vector<data::Subspace>& subspaces, Rng* rng);
+
+  /// One UIR with the given mode applied to every subspace.
+  GroundTruthUir Generate(const UisMode& mode, Rng* rng) const;
+
+  /// One UIR restricted to the first `num_subspaces` subspaces (for the
+  /// dimensionality sweeps, which explore 2-8 attribute spaces).
+  GroundTruthUir Generate(const UisMode& mode, int64_t num_subspaces,
+                          Rng* rng) const;
+
+  int64_t num_subspaces() const {
+    return static_cast<int64_t>(subspaces_.size());
+  }
+
+ private:
+  core::MetaTaskGenOptions options_;
+  std::vector<data::Subspace> subspaces_;
+  std::vector<core::MetaTaskGenerator> generators_;
+};
+
+}  // namespace lte::eval
+
+#endif  // LTE_EVAL_UIR_GENERATOR_H_

@@ -1,0 +1,38 @@
+#ifndef LTE_GEOM_CONVEX_HULL_H_
+#define LTE_GEOM_CONVEX_HULL_H_
+
+#include <vector>
+
+namespace lte::geom {
+
+/// A 2-D point. Geometry in LTE operates on low-dimensional subspace
+/// projections; the paper decomposes the user interest space into 2-D
+/// subspaces, with 1-D subspaces handled by intervals (see region.h).
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Cross product (b - a) x (c - a): positive when a->b->c turns left.
+double Cross(const Point2& a, const Point2& b, const Point2& c);
+
+/// Convex hull via Andrew's monotone chain; O(n log n).
+///
+/// Returns hull vertices in counter-clockwise order without the closing
+/// duplicate. Degenerate inputs are handled: fewer than 3 distinct points or
+/// collinear points yield the 1- or 2-point "hull" (a point / segment), which
+/// `PointInConvexPolygon` treats as a degenerate region.
+std::vector<Point2> ConvexHull(std::vector<Point2> points);
+
+/// Boundary-inclusive membership test against a counter-clockwise convex
+/// polygon (as produced by ConvexHull). Handles degenerate polygons of 1 or
+/// 2 vertices (point / segment) with tolerance `eps`.
+bool PointInConvexPolygon(const Point2& p, const std::vector<Point2>& hull,
+                          double eps = 1e-9);
+
+/// Area of a counter-clockwise convex polygon (0 for degenerate hulls).
+double PolygonArea(const std::vector<Point2>& hull);
+
+}  // namespace lte::geom
+
+#endif  // LTE_GEOM_CONVEX_HULL_H_

@@ -1,0 +1,66 @@
+#ifndef LTE_GEOM_REGION_H_
+#define LTE_GEOM_REGION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/convex_hull.h"
+
+namespace lte::geom {
+
+/// One convex building block of a user interest subregion (UIS).
+///
+/// The paper formulates a simulated UIS as the union of α convex hulls, each
+/// circumscribing the ψ nearest cluster centers of a random seed center
+/// (Section V-C). Subspaces are 1-D or 2-D: a 1-D convex region is an
+/// interval, a 2-D one a convex polygon.
+class ConvexRegion {
+ public:
+  /// Builds the convex hull of `points` (each of dimension 1 or 2; all points
+  /// must share the same dimension). Empty input yields an empty region.
+  static ConvexRegion HullOf(const std::vector<std::vector<double>>& points);
+
+  ConvexRegion() = default;
+
+  /// Boundary-inclusive membership. `point` must match the region dimension;
+  /// an empty region contains nothing.
+  bool Contains(const std::vector<double>& point, double eps = 1e-9) const;
+
+  int64_t dimension() const { return dimension_; }
+  bool empty() const { return dimension_ == 0; }
+
+  /// 2-D hull vertices (CCW); empty for 1-D regions.
+  const std::vector<Point2>& hull() const { return hull_; }
+  /// 1-D interval bounds; meaningful only for dimension()==1.
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  int64_t dimension_ = 0;
+  std::vector<Point2> hull_;  // dimension == 2
+  double lo_ = 0.0;           // dimension == 1
+  double hi_ = 0.0;
+};
+
+/// A UIS of arbitrary shape: the union of convex parts. By the convex
+/// decomposition theory the paper invokes, any (possibly concave or
+/// disconnected) region can be represented this way.
+class Region {
+ public:
+  Region() = default;
+
+  void AddPart(ConvexRegion part);
+
+  /// True when any convex part contains the point.
+  bool Contains(const std::vector<double>& point, double eps = 1e-9) const;
+
+  const std::vector<ConvexRegion>& parts() const { return parts_; }
+  bool empty() const { return parts_.empty(); }
+
+ private:
+  std::vector<ConvexRegion> parts_;
+};
+
+}  // namespace lte::geom
+
+#endif  // LTE_GEOM_REGION_H_

@@ -1,0 +1,32 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lte::nn {
+
+std::vector<double> Relu(const std::vector<double>& x) {
+  std::vector<double> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0 ? x[i] : 0.0;
+  return y;
+}
+
+std::vector<double> ReluBackward(const std::vector<double>& x,
+                                 const std::vector<double>& grad_out) {
+  LTE_CHECK_EQ(x.size(), grad_out.size());
+  std::vector<double> g(x.size());
+  for (size_t i = 0; i < x.size(); ++i) g[i] = x[i] > 0.0 ? grad_out[i] : 0.0;
+  return g;
+}
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace lte::nn

@@ -1,0 +1,20 @@
+#ifndef LTE_NN_ACTIVATIONS_H_
+#define LTE_NN_ACTIVATIONS_H_
+
+#include <vector>
+
+namespace lte::nn {
+
+/// Elementwise ReLU.
+std::vector<double> Relu(const std::vector<double>& x);
+
+/// Gradient of ReLU: grad_in[i] = grad_out[i] * (x[i] > 0).
+std::vector<double> ReluBackward(const std::vector<double>& x,
+                                 const std::vector<double>& grad_out);
+
+/// Numerically stable logistic sigmoid.
+double Sigmoid(double z);
+
+}  // namespace lte::nn
+
+#endif  // LTE_NN_ACTIVATIONS_H_

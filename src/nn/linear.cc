@@ -1,0 +1,68 @@
+#include "nn/linear.h"
+
+#include "common/check.h"
+
+namespace lte::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng)
+    : weights_(out_features, in_features),
+      bias_(static_cast<size_t>(out_features), 0.0),
+      grad_weights_(out_features, in_features),
+      grad_bias_(static_cast<size_t>(out_features), 0.0) {
+  weights_.InitKaiming(rng, in_features);
+}
+
+std::vector<double> Linear::Forward(const std::vector<double>& x) const {
+  std::vector<double> y = weights_.MatVec(x);
+  for (size_t i = 0; i < y.size(); ++i) y[i] += bias_[i];
+  return y;
+}
+
+std::vector<double> Linear::Backward(const std::vector<double>& x,
+                                     const std::vector<double>& grad_out) {
+  LTE_CHECK_EQ(static_cast<int64_t>(grad_out.size()), out_features());
+  grad_weights_.AddOuter(grad_out, x);
+  for (size_t i = 0; i < grad_bias_.size(); ++i) grad_bias_[i] += grad_out[i];
+  return weights_.TransposeMatVec(grad_out);
+}
+
+void Linear::ZeroGrad() {
+  grad_weights_.Fill(0.0);
+  for (double& g : grad_bias_) g = 0.0;
+}
+
+int64_t Linear::ParameterCount() const {
+  return weights_.size() + static_cast<int64_t>(bias_.size());
+}
+
+void Linear::AppendParameters(std::vector<double>* out) const {
+  out->insert(out->end(), weights_.data().begin(), weights_.data().end());
+  out->insert(out->end(), bias_.begin(), bias_.end());
+}
+
+void Linear::LoadParameters(const std::vector<double>& data, size_t* offset) {
+  LTE_CHECK_LE(*offset + static_cast<size_t>(ParameterCount()), data.size());
+  std::vector<double>* w = weights_.mutable_data();
+  std::copy(data.begin() + static_cast<long>(*offset),
+            data.begin() + static_cast<long>(*offset) + weights_.size(),
+            w->begin());
+  *offset += static_cast<size_t>(weights_.size());
+  std::copy(data.begin() + static_cast<long>(*offset),
+            data.begin() + static_cast<long>(*offset) +
+                static_cast<long>(bias_.size()),
+            bias_.begin());
+  *offset += bias_.size();
+}
+
+void Linear::AppendGradients(std::vector<double>* out) const {
+  out->insert(out->end(), grad_weights_.data().begin(),
+              grad_weights_.data().end());
+  out->insert(out->end(), grad_bias_.begin(), grad_bias_.end());
+}
+
+void Linear::ApplyGradients(double lr) {
+  weights_.AddScaled(grad_weights_, -lr);
+  for (size_t i = 0; i < bias_.size(); ++i) bias_[i] -= lr * grad_bias_[i];
+}
+
+}  // namespace lte::nn

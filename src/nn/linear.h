@@ -1,0 +1,62 @@
+#ifndef LTE_NN_LINEAR_H_
+#define LTE_NN_LINEAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/matrix.h"
+
+namespace lte::nn {
+
+/// A fully connected layer y = W x + b with manual gradients.
+///
+/// Gradients accumulate into `grad_weights`/`grad_bias` until ZeroGrad();
+/// callers decide when to step (the meta-trainer performs both local (θ) and
+/// global (φ) updates from these accumulators).
+class Linear {
+ public:
+  Linear() = default;
+  Linear(int64_t in_features, int64_t out_features, Rng* rng);
+
+  int64_t in_features() const { return weights_.cols(); }
+  int64_t out_features() const { return weights_.rows(); }
+
+  /// y = W x + b.
+  std::vector<double> Forward(const std::vector<double>& x) const;
+
+  /// Accumulates dW += grad_out x^T and db += grad_out; returns
+  /// grad_in = W^T grad_out. `x` must be the input passed to Forward.
+  std::vector<double> Backward(const std::vector<double>& x,
+                               const std::vector<double>& grad_out);
+
+  void ZeroGrad();
+
+  /// Number of scalar parameters (weights + bias).
+  int64_t ParameterCount() const;
+
+  /// Appends parameters (row-major weights, then bias) to *out.
+  void AppendParameters(std::vector<double>* out) const;
+
+  /// Reads ParameterCount() values from data[*offset], advancing *offset.
+  void LoadParameters(const std::vector<double>& data, size_t* offset);
+
+  /// Appends accumulated gradients in the same layout as AppendParameters.
+  void AppendGradients(std::vector<double>* out) const;
+
+  /// In-place SGD step: params -= lr * grads (accumulators unchanged).
+  void ApplyGradients(double lr);
+
+  const Matrix& weights() const { return weights_; }
+  const std::vector<double>& bias() const { return bias_; }
+
+ private:
+  Matrix weights_;                 // out x in.
+  std::vector<double> bias_;       // out.
+  Matrix grad_weights_;            // Same shape as weights_.
+  std::vector<double> grad_bias_;  // Same shape as bias_.
+};
+
+}  // namespace lte::nn
+
+#endif  // LTE_NN_LINEAR_H_

@@ -1,0 +1,18 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+
+namespace lte::nn {
+
+double BceWithLogits(double logit, double label) {
+  const double z = logit;
+  return std::max(z, 0.0) - z * label + std::log1p(std::exp(-std::abs(z)));
+}
+
+double BceWithLogitsGrad(double logit, double label) {
+  return Sigmoid(logit) - label;
+}
+
+}  // namespace lte::nn

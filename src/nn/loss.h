@@ -1,0 +1,16 @@
+#ifndef LTE_NN_LOSS_H_
+#define LTE_NN_LOSS_H_
+
+namespace lte::nn {
+
+/// Binary cross-entropy on a single logit, fused with the sigmoid for
+/// numerical stability: loss = max(z,0) - z*y + log(1 + exp(-|z|)).
+/// `label` must be 0 or 1.
+double BceWithLogits(double logit, double label);
+
+/// d loss / d logit = sigmoid(logit) - label.
+double BceWithLogitsGrad(double logit, double label);
+
+}  // namespace lte::nn
+
+#endif  // LTE_NN_LOSS_H_

@@ -1,0 +1,125 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lte::nn {
+
+Matrix::Matrix(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
+  LTE_CHECK_GE(rows, 0);
+  LTE_CHECK_GE(cols, 0);
+  data_.assign(static_cast<size_t>(rows * cols), 0.0);
+}
+
+void Matrix::Fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+void Matrix::InitKaiming(Rng* rng, int64_t fan_in) {
+  LTE_CHECK_GT(fan_in, 0);
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in));
+  for (double& x : data_) x = rng->Uniform(-limit, limit);
+}
+
+void Matrix::InitGaussian(Rng* rng, double stddev) {
+  for (double& x : data_) x = rng->Normal(0.0, stddev);
+}
+
+std::vector<double> Matrix::MatVec(const std::vector<double>& x) const {
+  LTE_CHECK_EQ(static_cast<int64_t>(x.size()), cols_);
+  std::vector<double> y(static_cast<size_t>(rows_), 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    const double* row = &data_[static_cast<size_t>(r * cols_)];
+    for (int64_t c = 0; c < cols_; ++c) s += row[c] * x[static_cast<size_t>(c)];
+    y[static_cast<size_t>(r)] = s;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::TransposeMatVec(
+    const std::vector<double>& x) const {
+  LTE_CHECK_EQ(static_cast<int64_t>(x.size()), rows_);
+  std::vector<double> y(static_cast<size_t>(cols_), 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double xr = x[static_cast<size_t>(r)];
+    if (xr == 0.0) continue;
+    const double* row = &data_[static_cast<size_t>(r * cols_)];
+    for (int64_t c = 0; c < cols_; ++c) y[static_cast<size_t>(c)] += row[c] * xr;
+  }
+  return y;
+}
+
+void Matrix::AddOuter(const std::vector<double>& a,
+                      const std::vector<double>& b, double scale) {
+  LTE_CHECK_EQ(static_cast<int64_t>(a.size()), rows_);
+  LTE_CHECK_EQ(static_cast<int64_t>(b.size()), cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double ar = scale * a[static_cast<size_t>(r)];
+    if (ar == 0.0) continue;
+    double* row = &data_[static_cast<size_t>(r * cols_)];
+    for (int64_t c = 0; c < cols_; ++c) row[c] += ar * b[static_cast<size_t>(c)];
+  }
+}
+
+void Matrix::Blend(const Matrix& other, double alpha) {
+  LTE_CHECK_EQ(rows_, other.rows_);
+  LTE_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] = alpha * other.data_[i] + (1.0 - alpha) * data_[i];
+  }
+}
+
+void Matrix::AddScaled(const Matrix& other, double scale) {
+  LTE_CHECK_EQ(rows_, other.rows_);
+  LTE_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+std::vector<double> Matrix::Row(int64_t r) const {
+  LTE_CHECK_GE(r, 0);
+  LTE_CHECK_LT(r, rows_);
+  return std::vector<double>(data_.begin() + r * cols_,
+                             data_.begin() + (r + 1) * cols_);
+}
+
+void Matrix::SetRow(int64_t r, const std::vector<double>& values) {
+  LTE_CHECK_GE(r, 0);
+  LTE_CHECK_LT(r, rows_);
+  LTE_CHECK_EQ(static_cast<int64_t>(values.size()), cols_);
+  std::copy(values.begin(), values.end(), data_.begin() + r * cols_);
+}
+
+void Matrix::Save(BinaryWriter* writer) const {
+  writer->WriteI64(rows_);
+  writer->WriteI64(cols_);
+  writer->WriteDoubleVector(data_);
+}
+
+Status Matrix::Load(BinaryReader* reader) {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  LTE_RETURN_IF_ERROR(reader->ReadI64(&rows));
+  LTE_RETURN_IF_ERROR(reader->ReadI64(&cols));
+  if (rows < 0 || cols < 0) {
+    return Status::IoError("matrix load: negative dimensions");
+  }
+  std::vector<double> data;
+  LTE_RETURN_IF_ERROR(reader->ReadDoubleVector(&data));
+  if (static_cast<int64_t>(data.size()) != rows * cols) {
+    return Status::IoError("matrix load: size mismatch");
+  }
+  rows_ = rows;
+  cols_ = cols;
+  data_ = std::move(data);
+  return Status::OK();
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+}  // namespace lte::nn

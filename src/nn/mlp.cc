@@ -1,0 +1,122 @@
+#include "nn/mlp.h"
+
+#include "common/check.h"
+#include "nn/activations.h"
+
+namespace lte::nn {
+
+Mlp::Mlp(const std::vector<int64_t>& layer_sizes, Rng* rng) {
+  LTE_CHECK_GE(layer_sizes.size(), 2u);
+  for (size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    layers_.emplace_back(layer_sizes[i], layer_sizes[i + 1], rng);
+  }
+}
+
+int64_t Mlp::in_features() const {
+  LTE_CHECK(!layers_.empty());
+  return layers_.front().in_features();
+}
+
+int64_t Mlp::out_features() const {
+  LTE_CHECK(!layers_.empty());
+  return layers_.back().out_features();
+}
+
+std::vector<double> Mlp::Forward(const std::vector<double>& x,
+                                 Cache* cache) const {
+  LTE_CHECK(!layers_.empty());
+  if (cache != nullptr) {
+    cache->inputs.clear();
+    cache->pre_activations.clear();
+  }
+  std::vector<double> h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (cache != nullptr) cache->inputs.push_back(h);
+    std::vector<double> z = layers_[i].Forward(h);
+    if (cache != nullptr) cache->pre_activations.push_back(z);
+    // No activation after the final layer.
+    h = (i + 1 < layers_.size()) ? Relu(z) : std::move(z);
+  }
+  return h;
+}
+
+std::vector<double> Mlp::Backward(const Cache& cache,
+                                  const std::vector<double>& grad_out) {
+  LTE_CHECK_EQ(cache.inputs.size(), layers_.size());
+  std::vector<double> g = grad_out;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    if (i + 1 < layers_.size()) {
+      g = ReluBackward(cache.pre_activations[i], g);
+    }
+    g = layers_[i].Backward(cache.inputs[i], g);
+  }
+  return g;
+}
+
+void Mlp::ZeroGrad() {
+  for (Linear& l : layers_) l.ZeroGrad();
+}
+
+void Mlp::ApplyGradients(double lr) {
+  for (Linear& l : layers_) l.ApplyGradients(lr);
+}
+
+int64_t Mlp::ParameterCount() const {
+  int64_t n = 0;
+  for (const Linear& l : layers_) n += l.ParameterCount();
+  return n;
+}
+
+std::vector<double> Mlp::GetParameters() const {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(ParameterCount()));
+  for (const Linear& l : layers_) l.AppendParameters(&out);
+  return out;
+}
+
+void Mlp::SetParameters(const std::vector<double>& params) {
+  LTE_CHECK_EQ(static_cast<int64_t>(params.size()), ParameterCount());
+  size_t offset = 0;
+  for (Linear& l : layers_) l.LoadParameters(params, &offset);
+}
+
+std::vector<int64_t> Mlp::LayerSizes() const {
+  std::vector<int64_t> sizes;
+  if (layers_.empty()) return sizes;
+  sizes.push_back(layers_.front().in_features());
+  for (const Linear& l : layers_) sizes.push_back(l.out_features());
+  return sizes;
+}
+
+void Mlp::Save(BinaryWriter* writer) const {
+  writer->WriteI64Vector(LayerSizes());
+  writer->WriteDoubleVector(GetParameters());
+}
+
+Status Mlp::Load(BinaryReader* reader) {
+  std::vector<int64_t> sizes;
+  LTE_RETURN_IF_ERROR(reader->ReadI64Vector(&sizes));
+  if (sizes.size() < 2) return Status::IoError("mlp load: bad layer sizes");
+  for (int64_t s : sizes) {
+    if (s <= 0) return Status::IoError("mlp load: non-positive layer size");
+  }
+  std::vector<double> params;
+  LTE_RETURN_IF_ERROR(reader->ReadDoubleVector(&params));
+  Rng scratch(0);  // Parameters are overwritten below.
+  Mlp rebuilt(sizes, &scratch);
+  if (static_cast<int64_t>(params.size()) != rebuilt.ParameterCount()) {
+    return Status::IoError("mlp load: parameter count mismatch");
+  }
+  rebuilt.SetParameters(params);
+  *this = std::move(rebuilt);
+  return Status::OK();
+}
+
+std::vector<double> Mlp::GetGradients() const {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(ParameterCount()));
+  for (const Linear& l : layers_) l.AppendGradients(&out);
+  return out;
+}
+
+}  // namespace lte::nn

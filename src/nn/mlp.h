@@ -1,0 +1,75 @@
+#ifndef LTE_NN_MLP_H_
+#define LTE_NN_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/rng.h"
+#include "nn/linear.h"
+
+namespace lte::nn {
+
+/// A multi-layer perceptron: Linear -> ReLU -> ... -> Linear (no activation
+/// on the final layer; callers apply sigmoid / BCE-with-logits as needed).
+///
+/// Serves as each of the three building blocks of the UIS classifier (paper
+/// Section VI-A): the UIS feature embedding block f_R, the data tuple
+/// embedding block f_tau, and the classification block f_clf. The flattened
+/// parameter interface (GetParameters / SetParameters) is what lets the
+/// meta-trainer copy φ -> θ per task and lets the UIS-feature memory store
+/// parameter-shaped rows (|θ_R| columns).
+class Mlp {
+ public:
+  Mlp() = default;
+
+  /// `layer_sizes` = {in, hidden..., out}; must have >= 2 entries.
+  Mlp(const std::vector<int64_t>& layer_sizes, Rng* rng);
+
+  int64_t in_features() const;
+  int64_t out_features() const;
+  int64_t num_layers() const { return static_cast<int64_t>(layers_.size()); }
+
+  /// Intermediate state captured by Forward for use by Backward.
+  struct Cache {
+    /// inputs[i] is the input to layer i (post-activation of layer i-1).
+    std::vector<std::vector<double>> inputs;
+    /// pre_activations[i] is layer i's linear output (pre-ReLU).
+    std::vector<std::vector<double>> pre_activations;
+  };
+
+  /// Forward pass; fills *cache when non-null.
+  std::vector<double> Forward(const std::vector<double>& x,
+                              Cache* cache = nullptr) const;
+
+  /// Backpropagates grad_out (gradient w.r.t. the final linear output),
+  /// accumulating layer gradients; returns the gradient w.r.t. the input.
+  std::vector<double> Backward(const Cache& cache,
+                               const std::vector<double>& grad_out);
+
+  void ZeroGrad();
+
+  /// SGD step on the accumulated gradients.
+  void ApplyGradients(double lr);
+
+  int64_t ParameterCount() const;
+  std::vector<double> GetParameters() const;
+  void SetParameters(const std::vector<double>& params);
+  std::vector<double> GetGradients() const;
+
+  /// Layer widths {in, hidden..., out} (the constructor argument).
+  std::vector<int64_t> LayerSizes() const;
+
+  /// Serialization: layer sizes + flattened parameters.
+  void Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+  const std::vector<Linear>& layers() const { return layers_; }
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace lte::nn
+
+#endif  // LTE_NN_MLP_H_

@@ -1,0 +1,55 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lte::nn {
+
+SgdOptimizer::SgdOptimizer(double learning_rate, double momentum)
+    : learning_rate_(learning_rate), momentum_(momentum) {}
+
+void SgdOptimizer::Step(const std::vector<double>& grads,
+                        std::vector<double>* params) {
+  LTE_CHECK_EQ(grads.size(), params->size());
+  if (momentum_ == 0.0) {
+    for (size_t i = 0; i < grads.size(); ++i) {
+      (*params)[i] -= learning_rate_ * grads[i];
+    }
+    return;
+  }
+  if (velocity_.size() != grads.size()) velocity_.assign(grads.size(), 0.0);
+  for (size_t i = 0; i < grads.size(); ++i) {
+    velocity_[i] = momentum_ * velocity_[i] + grads[i];
+    (*params)[i] -= learning_rate_ * velocity_[i];
+  }
+}
+
+AdamOptimizer::AdamOptimizer(double learning_rate, double beta1, double beta2,
+                             double epsilon)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {}
+
+void AdamOptimizer::Step(const std::vector<double>& grads,
+                         std::vector<double>* params) {
+  LTE_CHECK_EQ(grads.size(), params->size());
+  if (m_.size() != grads.size()) {
+    m_.assign(grads.size(), 0.0);
+    v_.assign(grads.size(), 0.0);
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < grads.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grads[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grads[i] * grads[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    (*params)[i] -= learning_rate_ * mhat / (std::sqrt(vhat) + epsilon_);
+  }
+}
+
+}  // namespace lte::nn

@@ -1,0 +1,56 @@
+#ifndef LTE_NN_OPTIMIZER_H_
+#define LTE_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lte::nn {
+
+/// First-order optimizers operating on flattened parameter vectors.
+///
+/// The meta-trainer's local updates are plain SGD (paper Eq. 12); the global
+/// update (Eq. 13) is a one-step aggregated gradient step for which SGD is
+/// also used. Adam is provided for the `Basic` (non-meta) classifier variant
+/// and for users who plug the NN substrate into their own training loops.
+
+/// Stochastic gradient descent with optional momentum.
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(double learning_rate, double momentum = 0.0);
+
+  /// params -= lr * (grads + momentum buffer).
+  void Step(const std::vector<double>& grads, std::vector<double>* params);
+
+  double learning_rate() const { return learning_rate_; }
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  std::vector<double> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(double learning_rate, double beta1 = 0.9,
+                         double beta2 = 0.999, double epsilon = 1e-8);
+
+  void Step(const std::vector<double>& grads, std::vector<double>* params);
+
+  double learning_rate() const { return learning_rate_; }
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+ private:
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  int64_t t_ = 0;
+  std::vector<double> m_;
+  std::vector<double> v_;
+};
+
+}  // namespace lte::nn
+
+#endif  // LTE_NN_OPTIMIZER_H_

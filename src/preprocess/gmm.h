@@ -1,0 +1,63 @@
+#ifndef LTE_PREPROCESS_GMM_H_
+#define LTE_PREPROCESS_GMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace lte::preprocess {
+
+/// One component of a univariate Gaussian mixture.
+struct GaussianComponent {
+  double weight = 0.0;
+  double mean = 0.0;
+  double variance = 1.0;
+};
+
+/// Univariate Gaussian mixture model fitted with EM.
+///
+/// The tabular encoder (paper Section VII-A, Algorithm 3) fits one GMM per
+/// numeric attribute on a sampled value set; the encoding of a value is the
+/// one-hot of its maximum-likelihood component plus the value normalized
+/// within that component's effective range (mean ± 3σ).
+class GaussianMixture {
+ public:
+  GaussianMixture() = default;
+
+  /// Fits `num_components` components to `values` by EM (quantile-based
+  /// initialization). Fails when values.size() < num_components or
+  /// num_components <= 0.
+  Status Fit(const std::vector<double>& values, int64_t num_components,
+             Rng* rng, int64_t max_iterations = 100);
+
+  int64_t num_components() const {
+    return static_cast<int64_t>(components_.size());
+  }
+  const std::vector<GaussianComponent>& components() const {
+    return components_;
+  }
+
+  /// Index of the component maximizing the posterior responsibility of x.
+  int64_t MostLikelyComponent(double x) const;
+
+  /// x normalized to [0, 1] within component `c`'s effective range
+  /// [mean - 3σ, mean + 3σ] (clamped).
+  double NormalizeWithin(int64_t c, double x) const;
+
+  /// Mean per-point log-likelihood of `values` under the fitted mixture.
+  double MeanLogLikelihood(const std::vector<double>& values) const;
+
+  /// Serialization (model persistence).
+  void Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+ private:
+  std::vector<GaussianComponent> components_;
+};
+
+}  // namespace lte::preprocess
+
+#endif  // LTE_PREPROCESS_GMM_H_

@@ -1,0 +1,58 @@
+#ifndef LTE_PREPROCESS_JENKS_H_
+#define LTE_PREPROCESS_JENKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+
+namespace lte::preprocess {
+
+/// Jenks natural-breaks classification (Fisher's optimal partition).
+///
+/// Divides a numeric attribute's distribution into |b| contiguous intervals
+/// minimizing within-interval variance (paper Section VII-A). The dynamic
+/// program is O(|b| * n^2) on the sorted sample, so callers fit on a bounded
+/// sample (the tabular encoder caps it).
+class JenksBreaks {
+ public:
+  JenksBreaks() = default;
+
+  /// Computes `num_intervals` optimal classes over `values`. Fails when
+  /// num_intervals <= 0 or values.size() < num_intervals.
+  Status Fit(const std::vector<double>& values, int64_t num_intervals);
+
+  int64_t num_intervals() const {
+    return static_cast<int64_t>(upper_bounds_.size());
+  }
+
+  /// Interval boundaries: interval i covers
+  /// (upper_bounds[i-1], upper_bounds[i]], with interval 0 starting at the
+  /// sample minimum. upper_bounds.back() is the sample maximum.
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  const std::vector<double>& lower_bounds() const { return lower_bounds_; }
+
+  /// Index of the interval containing x (values beyond the fitted range
+  /// clamp to the first/last interval).
+  int64_t IntervalOf(double x) const;
+
+  /// x normalized to [0, 1] within interval `i` (clamped).
+  double NormalizeWithin(int64_t i, double x) const;
+
+  /// Goodness of variance fit in [0, 1]: 1 - SSD_within / SSD_total.
+  double goodness_of_fit() const { return goodness_; }
+
+  /// Serialization (model persistence).
+  void Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+ private:
+  std::vector<double> lower_bounds_;
+  std::vector<double> upper_bounds_;
+  double goodness_ = 0.0;
+};
+
+}  // namespace lte::preprocess
+
+#endif  // LTE_PREPROCESS_JENKS_H_

@@ -1,0 +1,62 @@
+#include "preprocess/normalizer.h"
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace lte::preprocess {
+
+Status MinMaxNormalizer::Fit(const data::Table& table) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("normalizer: empty table");
+  }
+  mins_.clear();
+  maxs_.clear();
+  for (int64_t c = 0; c < table.num_columns(); ++c) {
+    mins_.push_back(table.column(c).min());
+    maxs_.push_back(table.column(c).max());
+  }
+  return Status::OK();
+}
+
+double MinMaxNormalizer::Transform(int64_t attr, double x) const {
+  LTE_CHECK_GE(attr, 0);
+  LTE_CHECK_LT(attr, num_attributes());
+  const double lo = mins_[static_cast<size_t>(attr)];
+  const double hi = maxs_[static_cast<size_t>(attr)];
+  if (hi <= lo) return 0.5;
+  return Clamp((x - lo) / (hi - lo), 0.0, 1.0);
+}
+
+double MinMaxNormalizer::Inverse(int64_t attr, double normalized) const {
+  LTE_CHECK_GE(attr, 0);
+  LTE_CHECK_LT(attr, num_attributes());
+  const double lo = mins_[static_cast<size_t>(attr)];
+  const double hi = maxs_[static_cast<size_t>(attr)];
+  return lo + normalized * (hi - lo);
+}
+
+std::vector<double> MinMaxNormalizer::TransformRow(
+    const std::vector<double>& row) const {
+  LTE_CHECK_EQ(static_cast<int64_t>(row.size()), num_attributes());
+  std::vector<double> out(row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    out[i] = Transform(static_cast<int64_t>(i), row[i]);
+  }
+  return out;
+}
+
+void MinMaxNormalizer::Save(BinaryWriter* writer) const {
+  writer->WriteDoubleVector(mins_);
+  writer->WriteDoubleVector(maxs_);
+}
+
+Status MinMaxNormalizer::Load(BinaryReader* reader) {
+  LTE_RETURN_IF_ERROR(reader->ReadDoubleVector(&mins_));
+  LTE_RETURN_IF_ERROR(reader->ReadDoubleVector(&maxs_));
+  if (mins_.size() != maxs_.size()) {
+    return Status::IoError("normalizer load: bound count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace lte::preprocess

@@ -1,0 +1,275 @@
+#include "preprocess/tabular_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "data/sampling.h"
+
+namespace lte::preprocess {
+namespace {
+
+// Auto-mode heuristic (paper Section VII-A): GMM suits unimodal/multimodal
+// "peaky" marginals; JKC suits smooth trend-like marginals. A marginal is
+// peaky when two *adjacent* substantial mixture components (sorted by mean)
+// are separated by a density valley — the gap between their means exceeds
+// the sum of their spreads. Only adjacent pairs matter: in a smooth
+// distribution the components tile the range, so non-adjacent pairs are far
+// apart without any valley between them. (A pure likelihood-gain test
+// misfires for the same reason: a uniform ramp also gains likelihood from
+// extra overlapping components.)
+bool MixtureIsPeaky(const GaussianMixture& gmm) {
+  constexpr double kMinWeight = 0.10;
+  constexpr double kSeparationSigmas = 2.5;
+  std::vector<GaussianComponent> comps;
+  for (const GaussianComponent& c : gmm.components()) {
+    if (c.weight >= kMinWeight) comps.push_back(c);
+  }
+  std::sort(comps.begin(), comps.end(),
+            [](const GaussianComponent& a, const GaussianComponent& b) {
+              return a.mean < b.mean;
+            });
+  for (size_t i = 0; i + 1 < comps.size(); ++i) {
+    const double gap = comps[i + 1].mean - comps[i].mean;
+    const double spread =
+        kSeparationSigmas *
+        (std::sqrt(comps[i].variance) + std::sqrt(comps[i + 1].variance));
+    if (gap > spread) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status TabularEncoder::Fit(const data::Table& table, Rng* rng) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("encoder: empty table");
+  }
+  num_attributes_ = table.num_columns();
+  LTE_RETURN_IF_ERROR(normalizer_.Fit(table));
+
+  // Sample rows once; all per-attribute models share the sample.
+  int64_t sample_size = static_cast<int64_t>(
+      options_.sample_fraction * static_cast<double>(table.num_rows()));
+  sample_size = std::max(sample_size, options_.min_sample_rows);
+  sample_size = std::min(sample_size, options_.max_sample_rows);
+  sample_size = std::min(sample_size, table.num_rows());
+  const std::vector<int64_t> rows =
+      data::SampleRowIndices(table, sample_size, rng);
+
+  gmms_.assign(static_cast<size_t>(num_attributes_), GaussianMixture{});
+  jenks_.assign(static_cast<size_t>(num_attributes_), JenksBreaks{});
+  attr_modes_.assign(static_cast<size_t>(num_attributes_), options_.mode);
+  categories_.assign(static_cast<size_t>(num_attributes_), {});
+
+  for (int64_t a = 0; a < num_attributes_; ++a) {
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (int64_t r : rows) values.push_back(table.column(a).value(r));
+
+    if (std::find(options_.categorical_attributes.begin(),
+                  options_.categorical_attributes.end(),
+                  a) != options_.categorical_attributes.end()) {
+      LTE_RETURN_IF_ERROR(FitCategorical(a, values));
+      continue;
+    }
+
+    const bool need_gmm = options_.mode == EncodingMode::kGmmOnly ||
+                          options_.mode == EncodingMode::kCombined ||
+                          options_.mode == EncodingMode::kAuto;
+    const bool need_jenks = options_.mode == EncodingMode::kJenksOnly ||
+                            options_.mode == EncodingMode::kCombined ||
+                            options_.mode == EncodingMode::kAuto;
+    if (need_gmm) {
+      LTE_RETURN_IF_ERROR(
+          gmms_[static_cast<size_t>(a)].Fit(values,
+                                            options_.num_gmm_components, rng));
+    }
+    if (need_jenks) {
+      LTE_RETURN_IF_ERROR(jenks_[static_cast<size_t>(a)].Fit(
+          values, options_.num_jenks_intervals));
+    }
+    if (options_.mode == EncodingMode::kAuto) {
+      attr_modes_[static_cast<size_t>(a)] =
+          MixtureIsPeaky(gmms_[static_cast<size_t>(a)])
+              ? EncodingMode::kGmmOnly
+              : EncodingMode::kJenksOnly;
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status TabularEncoder::FitCategorical(int64_t attr,
+                                      const std::vector<double>& values) {
+  if (options_.max_categories <= 0) {
+    return Status::InvalidArgument("encoder: max_categories must be > 0");
+  }
+  std::map<double, int64_t> counts;
+  for (double v : values) ++counts[v];
+  // Keep the most frequent values, then store them sorted for binary search.
+  std::vector<std::pair<int64_t, double>> by_freq;
+  by_freq.reserve(counts.size());
+  for (const auto& [value, count] : counts) by_freq.push_back({count, value});
+  std::sort(by_freq.begin(), by_freq.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (static_cast<int64_t>(by_freq.size()) > options_.max_categories) {
+    by_freq.resize(static_cast<size_t>(options_.max_categories));
+  }
+  std::vector<double>& cats = categories_[static_cast<size_t>(attr)];
+  cats.clear();
+  for (const auto& [count, value] : by_freq) cats.push_back(value);
+  std::sort(cats.begin(), cats.end());
+  attr_modes_[static_cast<size_t>(attr)] = EncodingMode::kCategorical;
+  return Status::OK();
+}
+
+EncodingMode TabularEncoder::AttributeMode(int64_t attr) const {
+  LTE_CHECK(fitted_);
+  LTE_CHECK_GE(attr, 0);
+  LTE_CHECK_LT(attr, num_attributes_);
+  return attr_modes_[static_cast<size_t>(attr)];
+}
+
+int64_t TabularEncoder::AttributeWidth(int64_t attr) const {
+  switch (AttributeMode(attr)) {
+    case EncodingMode::kMinMaxOnly:
+      return 1;
+    case EncodingMode::kGmmOnly:
+      return options_.num_gmm_components + 1;
+    case EncodingMode::kJenksOnly:
+      return options_.num_jenks_intervals + 1;
+    case EncodingMode::kCombined:
+      return options_.num_gmm_components + options_.num_jenks_intervals + 2;
+    case EncodingMode::kCategorical:
+      return static_cast<int64_t>(categories_[static_cast<size_t>(attr)].size()) +
+             1;  // +1 for the "other" slot.
+    case EncodingMode::kAuto:
+      break;  // Resolved at Fit time; unreachable.
+  }
+  LTE_CHECK_MSG(false, "unresolved encoding mode");
+  return 0;
+}
+
+int64_t TabularEncoder::ProjectedWidth(
+    const std::vector<int64_t>& attrs) const {
+  int64_t w = 0;
+  for (int64_t a : attrs) w += AttributeWidth(a);
+  return w;
+}
+
+void TabularEncoder::EncodeValue(int64_t attr, double x,
+                                 std::vector<double>* out) const {
+  const EncodingMode mode = AttributeMode(attr);
+  if (mode == EncodingMode::kMinMaxOnly) {
+    out->push_back(normalizer_.Transform(attr, x));
+    return;
+  }
+  const auto a = static_cast<size_t>(attr);
+  if (mode == EncodingMode::kCategorical) {
+    const std::vector<double>& cats = categories_[a];
+    const auto it = std::lower_bound(cats.begin(), cats.end(), x);
+    const bool known = it != cats.end() && *it == x;
+    for (size_t i = 0; i < cats.size(); ++i) {
+      out->push_back(known && cats[i] == x ? 1.0 : 0.0);
+    }
+    out->push_back(known ? 0.0 : 1.0);  // "other".
+    return;
+  }
+  if (mode == EncodingMode::kGmmOnly || mode == EncodingMode::kCombined) {
+    const int64_t c = gmms_[a].MostLikelyComponent(x);
+    for (int64_t i = 0; i < gmms_[a].num_components(); ++i) {
+      out->push_back(i == c ? 1.0 : 0.0);
+    }
+    out->push_back(gmms_[a].NormalizeWithin(c, x));
+  }
+  if (mode == EncodingMode::kJenksOnly || mode == EncodingMode::kCombined) {
+    const int64_t b = jenks_[a].IntervalOf(x);
+    for (int64_t i = 0; i < jenks_[a].num_intervals(); ++i) {
+      out->push_back(i == b ? 1.0 : 0.0);
+    }
+    out->push_back(jenks_[a].NormalizeWithin(b, x));
+  }
+}
+
+std::vector<double> TabularEncoder::EncodeProjected(
+    const std::vector<double>& values,
+    const std::vector<int64_t>& attrs) const {
+  LTE_CHECK_EQ(values.size(), attrs.size());
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(ProjectedWidth(attrs)));
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    EncodeValue(attrs[i], values[i], &out);
+  }
+  return out;
+}
+
+std::vector<double> TabularEncoder::EncodeRow(
+    const std::vector<double>& row) const {
+  LTE_CHECK_EQ(static_cast<int64_t>(row.size()), num_attributes_);
+  std::vector<double> out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    EncodeValue(static_cast<int64_t>(i), row[i], &out);
+  }
+  return out;
+}
+
+void TabularEncoder::Save(BinaryWriter* writer) const {
+  LTE_CHECK_MSG(fitted_, "encoder: Save before Fit");
+  writer->WriteI64(static_cast<int64_t>(options_.mode));
+  writer->WriteI64(options_.num_gmm_components);
+  writer->WriteI64(options_.num_jenks_intervals);
+  writer->WriteDouble(options_.sample_fraction);
+  writer->WriteI64(options_.min_sample_rows);
+  writer->WriteI64(options_.max_sample_rows);
+  writer->WriteI64(num_attributes_);
+  normalizer_.Save(writer);
+  for (int64_t a = 0; a < num_attributes_; ++a) {
+    gmms_[static_cast<size_t>(a)].Save(writer);
+    jenks_[static_cast<size_t>(a)].Save(writer);
+    writer->WriteI64(static_cast<int64_t>(attr_modes_[static_cast<size_t>(a)]));
+    writer->WriteDoubleVector(categories_[static_cast<size_t>(a)]);
+  }
+}
+
+Status TabularEncoder::Load(BinaryReader* reader) {
+  int64_t mode = 0;
+  LTE_RETURN_IF_ERROR(reader->ReadI64(&mode));
+  if (mode < 0 || mode > static_cast<int64_t>(EncodingMode::kAuto)) {
+    return Status::IoError("encoder load: invalid mode");
+  }
+  options_.mode = static_cast<EncodingMode>(mode);
+  LTE_RETURN_IF_ERROR(reader->ReadI64(&options_.num_gmm_components));
+  LTE_RETURN_IF_ERROR(reader->ReadI64(&options_.num_jenks_intervals));
+  LTE_RETURN_IF_ERROR(reader->ReadDouble(&options_.sample_fraction));
+  LTE_RETURN_IF_ERROR(reader->ReadI64(&options_.min_sample_rows));
+  LTE_RETURN_IF_ERROR(reader->ReadI64(&options_.max_sample_rows));
+  LTE_RETURN_IF_ERROR(reader->ReadI64(&num_attributes_));
+  if (num_attributes_ <= 0) {
+    return Status::IoError("encoder load: invalid attribute count");
+  }
+  LTE_RETURN_IF_ERROR(normalizer_.Load(reader));
+  gmms_.assign(static_cast<size_t>(num_attributes_), GaussianMixture{});
+  jenks_.assign(static_cast<size_t>(num_attributes_), JenksBreaks{});
+  attr_modes_.assign(static_cast<size_t>(num_attributes_), options_.mode);
+  categories_.assign(static_cast<size_t>(num_attributes_), {});
+  for (int64_t a = 0; a < num_attributes_; ++a) {
+    LTE_RETURN_IF_ERROR(gmms_[static_cast<size_t>(a)].Load(reader));
+    LTE_RETURN_IF_ERROR(jenks_[static_cast<size_t>(a)].Load(reader));
+    int64_t attr_mode = 0;
+    LTE_RETURN_IF_ERROR(reader->ReadI64(&attr_mode));
+    if (attr_mode < 0 ||
+        attr_mode > static_cast<int64_t>(EncodingMode::kCategorical)) {
+      return Status::IoError("encoder load: invalid attribute mode");
+    }
+    attr_modes_[static_cast<size_t>(a)] = static_cast<EncodingMode>(attr_mode);
+    LTE_RETURN_IF_ERROR(
+        reader->ReadDoubleVector(&categories_[static_cast<size_t>(a)]));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+}  // namespace lte::preprocess

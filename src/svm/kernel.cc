@@ -1,0 +1,25 @@
+#include "svm/kernel.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace lte::svm {
+
+double Kernel::Evaluate(const std::vector<double>& a,
+                        const std::vector<double>& b,
+                        double gamma_override) const {
+  switch (type) {
+    case KernelType::kLinear:
+      return Dot(a, b);
+    case KernelType::kRbf:
+      return std::exp(-gamma_override * SquaredDistance(a, b));
+    case KernelType::kPolynomial:
+      return std::pow(gamma_override * Dot(a, b) + coef0, degree);
+  }
+  LTE_CHECK_MSG(false, "unknown kernel type");
+  return 0.0;
+}
+
+}  // namespace lte::svm

@@ -1,0 +1,31 @@
+#ifndef LTE_SVM_KERNEL_H_
+#define LTE_SVM_KERNEL_H_
+
+#include <vector>
+
+namespace lte::svm {
+
+enum class KernelType {
+  kLinear,
+  kRbf,
+  kPolynomial,
+};
+
+/// A Mercer kernel for the SVM substrate. The AL-SVM baseline (paper [4])
+/// and DSM's uncertain-region classifier (paper [5]) both use RBF kernels.
+struct Kernel {
+  KernelType type = KernelType::kRbf;
+  /// RBF bandwidth / polynomial scale. gamma <= 0 means "auto":
+  /// 1 / num_features at training time.
+  double gamma = -1.0;
+  double coef0 = 0.0;
+  int degree = 3;
+
+  /// K(a, b). `gamma_override` supplies the resolved auto-gamma.
+  double Evaluate(const std::vector<double>& a, const std::vector<double>& b,
+                  double gamma_override) const;
+};
+
+}  // namespace lte::svm
+
+#endif  // LTE_SVM_KERNEL_H_

@@ -1,0 +1,105 @@
+#include "svm/smo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lte::svm {
+
+Status SolveSmo(const std::vector<double>& kernel_matrix,
+                const std::vector<double>& labels, const SmoOptions& options,
+                Rng* rng, SmoResult* result) {
+  const auto n = static_cast<int64_t>(labels.size());
+  if (n == 0) return Status::InvalidArgument("smo: empty training set");
+  if (kernel_matrix.size() != static_cast<size_t>(n * n)) {
+    return Status::InvalidArgument("smo: kernel matrix size mismatch");
+  }
+  for (double y : labels) {
+    if (y != 1.0 && y != -1.0) {
+      return Status::InvalidArgument("smo: labels must be -1 or +1");
+    }
+  }
+  auto k = [&](int64_t i, int64_t j) {
+    return kernel_matrix[static_cast<size_t>(i * n + j)];
+  };
+
+  std::vector<double> alpha(static_cast<size_t>(n), 0.0);
+  double b = 0.0;
+  auto f = [&](int64_t i) {
+    double s = b;
+    for (int64_t j = 0; j < n; ++j) {
+      const double aj = alpha[static_cast<size_t>(j)];
+      if (aj != 0.0) s += aj * labels[static_cast<size_t>(j)] * k(j, i);
+    }
+    return s;
+  };
+
+  int64_t passes = 0;
+  int64_t iters = 0;
+  const double c = options.c;
+  const double tol = options.tolerance;
+  while (passes < options.max_passes && iters < options.max_iterations) {
+    ++iters;
+    int64_t changed = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double yi = labels[static_cast<size_t>(i)];
+      const double ei = f(i) - yi;
+      const double ai_old = alpha[static_cast<size_t>(i)];
+      if (!((yi * ei < -tol && ai_old < c) || (yi * ei > tol && ai_old > 0))) {
+        continue;
+      }
+      // Pick a random j != i.
+      int64_t j = rng->UniformInt(n - 1);
+      if (j >= i) ++j;
+      const double yj = labels[static_cast<size_t>(j)];
+      const double ej = f(j) - yj;
+      const double aj_old = alpha[static_cast<size_t>(j)];
+
+      double lo;
+      double hi;
+      if (yi != yj) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(c, c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - c);
+        hi = std::min(c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+      const double eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+      if (eta >= 0.0) continue;
+
+      double aj = aj_old - yj * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-7) continue;
+      const double ai = ai_old + yi * yj * (aj_old - aj);
+      alpha[static_cast<size_t>(i)] = ai;
+      alpha[static_cast<size_t>(j)] = aj;
+
+      const double b1 = b - ei - yi * (ai - ai_old) * k(i, i) -
+                        yj * (aj - aj_old) * k(i, j);
+      const double b2 = b - ej - yi * (ai - ai_old) * k(i, j) -
+                        yj * (aj - aj_old) * k(j, j);
+      if (ai > 0.0 && ai < c) {
+        b = b1;
+      } else if (aj > 0.0 && aj < c) {
+        b = b2;
+      } else {
+        b = 0.5 * (b1 + b2);
+      }
+      ++changed;
+    }
+    passes = (changed == 0) ? passes + 1 : 0;
+  }
+
+  SmoResult res;
+  res.alphas = std::move(alpha);
+  res.bias = b;
+  for (double a : res.alphas) {
+    if (a > 1e-9) ++res.num_support_vectors;
+  }
+  *result = std::move(res);
+  return Status::OK();
+}
+
+}  // namespace lte::svm

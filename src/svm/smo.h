@@ -1,0 +1,42 @@
+#ifndef LTE_SVM_SMO_H_
+#define LTE_SVM_SMO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "svm/kernel.h"
+
+namespace lte::svm {
+
+/// Options for the SMO dual solver.
+struct SmoOptions {
+  /// Soft-margin penalty.
+  double c = 1.0;
+  /// KKT violation tolerance.
+  double tolerance = 1e-3;
+  /// Stop after this many consecutive full passes without an alpha update.
+  int64_t max_passes = 5;
+  /// Hard cap on total passes (guards pathological non-convergence).
+  int64_t max_iterations = 1000;
+};
+
+/// Result of solving the SVM dual.
+struct SmoResult {
+  std::vector<double> alphas;  // One per training point.
+  double bias = 0.0;
+  int64_t num_support_vectors = 0;
+};
+
+/// Simplified SMO (Platt): solves the soft-margin kernel SVM dual for labels
+/// in {-1, +1}. The precomputed kernel matrix `kernel_matrix` is row-major
+/// n x n. Training sets in IDE exploration are tiny (tens to a few hundred
+/// labelled tuples), so the dense precomputed-kernel formulation is ideal.
+Status SolveSmo(const std::vector<double>& kernel_matrix,
+                const std::vector<double>& labels, const SmoOptions& options,
+                Rng* rng, SmoResult* result);
+
+}  // namespace lte::svm
+
+#endif  // LTE_SVM_SMO_H_

@@ -1,0 +1,103 @@
+#include "svm/svm.h"
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace lte::svm {
+
+Status Svm::Train(const std::vector<std::vector<double>>& features,
+                  const std::vector<double>& labels, const Kernel& kernel,
+                  const SmoOptions& options, Rng* rng) {
+  const auto n = static_cast<int64_t>(features.size());
+  if (n == 0) return Status::InvalidArgument("svm: empty training set");
+  if (labels.size() != features.size()) {
+    return Status::InvalidArgument("svm: features/labels size mismatch");
+  }
+  kernel_ = kernel;
+  if (kernel.gamma > 0.0) {
+    resolved_gamma_ = kernel.gamma;
+  } else {
+    // Auto ("scale") gamma: 1 / (d * mean per-dimension variance), so the
+    // RBF bandwidth tracks the data spread instead of assuming unit-scale
+    // features.
+    const auto d = static_cast<double>(features.front().size());
+    double var_sum = 0.0;
+    for (size_t j = 0; j < features.front().size(); ++j) {
+      std::vector<double> column;
+      column.reserve(features.size());
+      for (const auto& row : features) column.push_back(row[j]);
+      var_sum += Variance(column);
+    }
+    const double mean_var = var_sum / d;
+    resolved_gamma_ = mean_var > 1e-12 ? 1.0 / (d * mean_var) : 1.0 / d;
+  }
+
+  // One-class degenerate case: constant predictor.
+  bool has_pos = false;
+  bool has_neg = false;
+  for (double y : labels) {
+    if (y == 1.0) {
+      has_pos = true;
+    } else if (y == 0.0) {
+      has_neg = true;
+    } else {
+      return Status::InvalidArgument("svm: labels must be 0 or 1");
+    }
+  }
+  if (!has_pos || !has_neg) {
+    trained_ = true;
+    one_class_ = true;
+    one_class_label_ = has_pos ? 1.0 : 0.0;
+    support_vectors_.clear();
+    sv_coefficients_.clear();
+    return Status::OK();
+  }
+
+  // Map labels to {-1, +1} and precompute the kernel matrix.
+  std::vector<double> y(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) y[i] = labels[i] > 0.5 ? 1.0 : -1.0;
+  std::vector<double> gram(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i; j < n; ++j) {
+      const double k = kernel_.Evaluate(features[static_cast<size_t>(i)],
+                                        features[static_cast<size_t>(j)],
+                                        resolved_gamma_);
+      gram[static_cast<size_t>(i * n + j)] = k;
+      gram[static_cast<size_t>(j * n + i)] = k;
+    }
+  }
+
+  SmoResult res;
+  LTE_RETURN_IF_ERROR(SolveSmo(gram, y, options, rng, &res));
+
+  support_vectors_.clear();
+  sv_coefficients_.clear();
+  for (int64_t i = 0; i < n; ++i) {
+    const double a = res.alphas[static_cast<size_t>(i)];
+    if (a > 1e-9) {
+      support_vectors_.push_back(features[static_cast<size_t>(i)]);
+      sv_coefficients_.push_back(a * y[static_cast<size_t>(i)]);
+    }
+  }
+  bias_ = res.bias;
+  one_class_ = false;
+  trained_ = true;
+  return Status::OK();
+}
+
+double Svm::DecisionFunction(const std::vector<double>& x) const {
+  LTE_CHECK_MSG(trained_, "svm: DecisionFunction before Train");
+  if (one_class_) return one_class_label_ > 0.5 ? 1.0 : -1.0;
+  double s = bias_;
+  for (size_t i = 0; i < support_vectors_.size(); ++i) {
+    s += sv_coefficients_[i] *
+         kernel_.Evaluate(support_vectors_[i], x, resolved_gamma_);
+  }
+  return s;
+}
+
+double Svm::Predict(const std::vector<double>& x) const {
+  return DecisionFunction(x) >= 0.0 ? 1.0 : 0.0;
+}
+
+}  // namespace lte::svm

@@ -1,0 +1,56 @@
+#ifndef LTE_SVM_SVM_H_
+#define LTE_SVM_SVM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "svm/kernel.h"
+#include "svm/smo.h"
+
+namespace lte::svm {
+
+/// A binary kernel SVM classifier (labels 0/1) trained with SMO.
+///
+/// This is the classifier underlying both baselines reproduced from the
+/// paper: AL-SVM [4] (active learning around an SVM) and DSM [5] (polytope
+/// model + SVM on the uncertain partition). Degenerate one-class training
+/// sets — common in the first iterations of exploration — fall back to a
+/// constant predictor.
+class Svm {
+ public:
+  Svm() = default;
+
+  /// Trains on rows of `features` with labels in {0, 1}.
+  Status Train(const std::vector<std::vector<double>>& features,
+               const std::vector<double>& labels, const Kernel& kernel,
+               const SmoOptions& options, Rng* rng);
+
+  bool trained() const { return trained_; }
+
+  /// Signed margin; positive means class 1. For one-class fits this is a
+  /// constant +/-1.
+  double DecisionFunction(const std::vector<double>& x) const;
+
+  /// 0/1 prediction.
+  double Predict(const std::vector<double>& x) const;
+
+  int64_t num_support_vectors() const {
+    return static_cast<int64_t>(support_vectors_.size());
+  }
+
+ private:
+  bool trained_ = false;
+  bool one_class_ = false;
+  double one_class_label_ = 0.0;
+  Kernel kernel_;
+  double resolved_gamma_ = 1.0;
+  double bias_ = 0.0;
+  std::vector<std::vector<double>> support_vectors_;
+  std::vector<double> sv_coefficients_;  // alpha_i * y_i, y in {-1, +1}.
+};
+
+}  // namespace lte::svm
+
+#endif  // LTE_SVM_SVM_H_

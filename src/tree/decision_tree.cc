@@ -1,0 +1,193 @@
+#include "tree/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace lte::tree {
+namespace {
+
+// Gini impurity of a node with `pos` positives among `n` samples.
+double Gini(double pos, double n) {
+  if (n <= 0.0) return 0.0;
+  const double p = pos / n;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+Status DecisionTree::Train(const std::vector<std::vector<double>>& features,
+                           const std::vector<double>& labels) {
+  if (features.empty()) {
+    return Status::InvalidArgument("decision tree: empty training set");
+  }
+  if (features.size() != labels.size()) {
+    return Status::InvalidArgument("decision tree: features/labels mismatch");
+  }
+  num_features_ = static_cast<int64_t>(features.front().size());
+  for (const auto& f : features) {
+    if (static_cast<int64_t>(f.size()) != num_features_) {
+      return Status::InvalidArgument("decision tree: ragged features");
+    }
+  }
+  for (double y : labels) {
+    if (y != 0.0 && y != 1.0) {
+      return Status::InvalidArgument("decision tree: labels must be 0 or 1");
+    }
+  }
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<int64_t> indices(features.size());
+  std::iota(indices.begin(), indices.end(), int64_t{0});
+  Build(features, labels, &indices, 0, static_cast<int64_t>(indices.size()),
+        0);
+  return Status::OK();
+}
+
+int64_t DecisionTree::Build(const std::vector<std::vector<double>>& features,
+                            const std::vector<double>& labels,
+                            std::vector<int64_t>* indices, int64_t begin,
+                            int64_t end, int64_t depth) {
+  depth_ = std::max(depth_, depth);
+  const int64_t n = end - begin;
+  double positives = 0.0;
+  for (int64_t i = begin; i < end; ++i) {
+    positives += labels[static_cast<size_t>((*indices)[static_cast<size_t>(i)])];
+  }
+
+  const int64_t node_id = static_cast<int64_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<size_t>(node_id)].num_samples = n;
+  nodes_[static_cast<size_t>(node_id)].positive_fraction =
+      n > 0 ? positives / static_cast<double>(n) : 0.0;
+
+  const double impurity = Gini(positives, static_cast<double>(n));
+  if (depth >= options_.max_depth || n < options_.min_samples_split ||
+      impurity <= options_.min_impurity) {
+    return node_id;
+  }
+
+  // Exhaustive best split: for each feature, sort the node's rows by that
+  // feature and scan the split points.
+  double best_gain = 0.0;
+  int64_t best_feature = -1;
+  double best_threshold = 0.0;
+  std::vector<int64_t> node_rows(indices->begin() + begin,
+                                 indices->begin() + end);
+  for (int64_t f = 0; f < num_features_; ++f) {
+    std::sort(node_rows.begin(), node_rows.end(), [&](int64_t a, int64_t b) {
+      return features[static_cast<size_t>(a)][static_cast<size_t>(f)] <
+             features[static_cast<size_t>(b)][static_cast<size_t>(f)];
+    });
+    double left_pos = 0.0;
+    for (int64_t i = 0; i + 1 < n; ++i) {
+      left_pos += labels[static_cast<size_t>(node_rows[static_cast<size_t>(i)])];
+      const double x_i =
+          features[static_cast<size_t>(node_rows[static_cast<size_t>(i)])]
+                  [static_cast<size_t>(f)];
+      const double x_next =
+          features[static_cast<size_t>(node_rows[static_cast<size_t>(i + 1)])]
+                  [static_cast<size_t>(f)];
+      if (x_i == x_next) continue;  // No split between equal values.
+      const int64_t left_n = i + 1;
+      const int64_t right_n = n - left_n;
+      if (left_n < options_.min_samples_leaf ||
+          right_n < options_.min_samples_leaf) {
+        continue;
+      }
+      const double right_pos = positives - left_pos;
+      const double weighted =
+          (static_cast<double>(left_n) * Gini(left_pos, static_cast<double>(left_n)) +
+           static_cast<double>(right_n) *
+               Gini(right_pos, static_cast<double>(right_n))) /
+          static_cast<double>(n);
+      const double gain = impurity - weighted;
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (x_i + x_next);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  // Partition the index range by the chosen split.
+  const auto mid_it = std::partition(
+      indices->begin() + begin, indices->begin() + end, [&](int64_t row) {
+        return features[static_cast<size_t>(row)]
+                       [static_cast<size_t>(best_feature)] <= best_threshold;
+      });
+  const int64_t mid = mid_it - indices->begin();
+  if (mid == begin || mid == end) return node_id;  // Degenerate partition.
+
+  const int64_t left = Build(features, labels, indices, begin, mid, depth + 1);
+  const int64_t right = Build(features, labels, indices, mid, end, depth + 1);
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  node.is_leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+double DecisionTree::PredictProbability(const std::vector<double>& x) const {
+  LTE_CHECK_MSG(trained(), "decision tree: Predict before Train");
+  LTE_CHECK_EQ(static_cast<int64_t>(x.size()), num_features_);
+  int64_t node = 0;
+  while (!nodes_[static_cast<size_t>(node)].is_leaf) {
+    const Node& cur = nodes_[static_cast<size_t>(node)];
+    node = x[static_cast<size_t>(cur.feature)] <= cur.threshold ? cur.left
+                                                                : cur.right;
+  }
+  return nodes_[static_cast<size_t>(node)].positive_fraction;
+}
+
+double DecisionTree::Predict(const std::vector<double>& x) const {
+  return PredictProbability(x) > 0.5 ? 1.0 : 0.0;
+}
+
+void DecisionTree::CollectPaths(int64_t node, std::vector<double>* lower,
+                                std::vector<double>* upper,
+                                std::vector<PositivePath>* out) const {
+  const Node& cur = nodes_[static_cast<size_t>(node)];
+  if (cur.is_leaf) {
+    if (cur.positive_fraction > 0.5) {
+      PositivePath path;
+      path.lower = *lower;
+      path.upper = *upper;
+      path.probability = cur.positive_fraction;
+      path.support = cur.num_samples;
+      out->push_back(std::move(path));
+    }
+    return;
+  }
+  const auto f = static_cast<size_t>(cur.feature);
+  // Left: x[f] <= threshold.
+  const double saved_upper = (*upper)[f];
+  (*upper)[f] = std::min((*upper)[f], cur.threshold);
+  CollectPaths(cur.left, lower, upper, out);
+  (*upper)[f] = saved_upper;
+  // Right: x[f] > threshold.
+  const double saved_lower = (*lower)[f];
+  (*lower)[f] = std::max((*lower)[f], cur.threshold);
+  CollectPaths(cur.right, lower, upper, out);
+  (*lower)[f] = saved_lower;
+}
+
+std::vector<DecisionTree::PositivePath> DecisionTree::ExtractPositivePaths()
+    const {
+  LTE_CHECK_MSG(trained(), "decision tree: ExtractPositivePaths before Train");
+  std::vector<PositivePath> out;
+  std::vector<double> lower(static_cast<size_t>(num_features_),
+                            -std::numeric_limits<double>::infinity());
+  std::vector<double> upper(static_cast<size_t>(num_features_),
+                            std::numeric_limits<double>::infinity());
+  CollectPaths(0, &lower, &upper, &out);
+  return out;
+}
+
+}  // namespace lte::tree

@@ -1,0 +1,93 @@
+#ifndef LTE_TREE_DECISION_TREE_H_
+#define LTE_TREE_DECISION_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lte::tree {
+
+/// Options for CART training.
+struct DecisionTreeOptions {
+  int64_t max_depth = 8;
+  /// A node with fewer samples becomes a leaf.
+  int64_t min_samples_split = 4;
+  /// Minimum samples on each side of a split.
+  int64_t min_samples_leaf = 1;
+  /// Stop when a node's Gini impurity falls below this.
+  double min_impurity = 1e-7;
+};
+
+/// An axis-aligned binary classification tree (CART with Gini impurity).
+///
+/// This is the classifier behind the AIDE baseline (paper Table I: AIDE
+/// explores with decision trees) and the substrate of the SQL query
+/// synthesis module: each root-to-leaf path of a fitted tree is a
+/// conjunction of range predicates, i.e. exactly a relational selection.
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+  explicit DecisionTree(DecisionTreeOptions options) : options_(options) {}
+
+  /// Fits the tree on rows of `features` with labels in {0, 1}. Fails on
+  /// empty input, shape mismatches, or non-binary labels.
+  Status Train(const std::vector<std::vector<double>>& features,
+               const std::vector<double>& labels);
+
+  bool trained() const { return !nodes_.empty(); }
+
+  /// 0/1 prediction: majority label of the reached leaf.
+  double Predict(const std::vector<double>& x) const;
+
+  /// Fraction of positive training samples in the reached leaf — a crude
+  /// class probability used for uncertainty sampling.
+  double PredictProbability(const std::vector<double>& x) const;
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t depth() const { return depth_; }
+
+  /// One conjunctive clause of the tree's positive region: the tightened
+  /// per-feature bounds along a root-to-positive-leaf path.
+  struct PositivePath {
+    /// lower[f] / upper[f]: bounds on feature f (±infinity when unbounded).
+    std::vector<double> lower;
+    std::vector<double> upper;
+    double probability = 0.0;  // Positive fraction in the leaf.
+    int64_t support = 0;       // Training samples in the leaf.
+  };
+
+  /// All positive-leaf paths; the predicted positive region is their union
+  /// (a union of axis-aligned boxes — AIDE's "linear" UIR representation).
+  std::vector<PositivePath> ExtractPositivePaths() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    int64_t feature = -1;
+    double threshold = 0.0;
+    int64_t left = -1;   // x[feature] <= threshold.
+    int64_t right = -1;  // x[feature] > threshold.
+    double positive_fraction = 0.0;
+    int64_t num_samples = 0;
+  };
+
+  int64_t Build(const std::vector<std::vector<double>>& features,
+                const std::vector<double>& labels,
+                std::vector<int64_t>* indices, int64_t begin, int64_t end,
+                int64_t depth);
+
+  void CollectPaths(int64_t node, std::vector<double>* lower,
+                    std::vector<double>* upper,
+                    std::vector<PositivePath>* out) const;
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+  int64_t num_features_ = 0;
+  int64_t depth_ = 0;
+};
+
+}  // namespace lte::tree
+
+#endif  // LTE_TREE_DECISION_TREE_H_

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/loss.h"
+
+namespace lte::nn {
+namespace {
+
+TEST(ActivationsTest, Relu) {
+  EXPECT_EQ(Relu({-1.0, 0.0, 2.0}), (std::vector<double>{0.0, 0.0, 2.0}));
+}
+
+TEST(ActivationsTest, ReluBackwardMasksNonPositive) {
+  EXPECT_EQ(ReluBackward({-1.0, 0.0, 2.0}, {5.0, 5.0, 5.0}),
+            (std::vector<double>{0.0, 0.0, 5.0}));
+}
+
+TEST(ActivationsTest, SigmoidValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(1.0) + Sigmoid(-1.0), 1.0, 1e-12);
+}
+
+TEST(ActivationsTest, SigmoidNumericallyStableAtExtremes) {
+  EXPECT_TRUE(std::isfinite(Sigmoid(1000.0)));
+  EXPECT_TRUE(std::isfinite(Sigmoid(-1000.0)));
+}
+
+TEST(LossTest, BceMatchesDefinition) {
+  // loss = -y log p - (1-y) log(1-p) with p = sigmoid(z).
+  for (double z : {-2.0, -0.5, 0.0, 0.5, 2.0}) {
+    for (double y : {0.0, 1.0}) {
+      const double p = Sigmoid(z);
+      const double expected = -y * std::log(p) - (1 - y) * std::log(1 - p);
+      EXPECT_NEAR(BceWithLogits(z, y), expected, 1e-9) << "z=" << z;
+    }
+  }
+}
+
+TEST(LossTest, BceStableAtExtremeLogits) {
+  EXPECT_TRUE(std::isfinite(BceWithLogits(1000.0, 0.0)));
+  EXPECT_TRUE(std::isfinite(BceWithLogits(-1000.0, 1.0)));
+  EXPECT_NEAR(BceWithLogits(1000.0, 1.0), 0.0, 1e-9);
+}
+
+TEST(LossTest, GradMatchesFiniteDifference) {
+  const double eps = 1e-6;
+  for (double z : {-1.5, 0.0, 0.7}) {
+    for (double y : {0.0, 1.0}) {
+      const double num =
+          (BceWithLogits(z + eps, y) - BceWithLogits(z - eps, y)) / (2 * eps);
+      EXPECT_NEAR(BceWithLogitsGrad(z, y), num, 1e-6);
+    }
+  }
+}
+
+TEST(LossTest, GradSignPushesTowardLabel) {
+  EXPECT_LT(BceWithLogitsGrad(0.0, 1.0), 0.0);  // Increase logit.
+  EXPECT_GT(BceWithLogitsGrad(0.0, 0.0), 0.0);  // Decrease logit.
+}
+
+}  // namespace
+}  // namespace lte::nn

@@ -1,0 +1,94 @@
+#include "baselines/active_learner.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::baselines {
+namespace {
+
+// Pool: grid over [0,1]^2; target: x < 0.5 (linear boundary).
+std::vector<std::vector<double>> GridPool(int side = 20) {
+  std::vector<std::vector<double>> pool;
+  for (int i = 0; i < side; ++i) {
+    for (int j = 0; j < side; ++j) {
+      pool.push_back({static_cast<double>(i) / (side - 1),
+                      static_cast<double>(j) / (side - 1)});
+    }
+  }
+  return pool;
+}
+
+TEST(ActiveLearnerTest, LearnsLinearTargetWithinBudget) {
+  Rng rng(1);
+  const auto pool = GridPool();
+  const auto oracle = [&](int64_t i) {
+    return pool[static_cast<size_t>(i)][0] < 0.5 ? 1.0 : 0.0;
+  };
+  ActiveLearnerOptions opt;
+  ActiveLearnerSvm learner(opt);
+  ASSERT_TRUE(learner.Explore(pool, oracle, 40, &rng).ok());
+  EXPECT_EQ(learner.labels_used(), 40);
+
+  int correct = 0;
+  for (const auto& p : pool) {
+    const double truth = p[0] < 0.5 ? 1.0 : 0.0;
+    if (learner.Predict(p) == truth) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / pool.size(), 0.9);
+}
+
+TEST(ActiveLearnerTest, RespectsBudget) {
+  Rng rng(2);
+  const auto pool = GridPool(10);
+  const auto oracle = [&](int64_t i) {
+    return pool[static_cast<size_t>(i)][1] > 0.5 ? 1.0 : 0.0;
+  };
+  ActiveLearnerSvm learner(ActiveLearnerOptions{});
+  ASSERT_TRUE(learner.Explore(pool, oracle, 17, &rng).ok());
+  EXPECT_EQ(learner.labels_used(), 17);
+}
+
+TEST(ActiveLearnerTest, MoreBudgetDoesNotHurtMuch) {
+  // Not strictly monotone, but a 4x budget should not be drastically worse.
+  const auto pool = GridPool();
+  const auto oracle = [&](int64_t i) {
+    const auto& p = pool[static_cast<size_t>(i)];
+    return (p[0] - 0.5) * (p[0] - 0.5) + (p[1] - 0.5) * (p[1] - 0.5) < 0.09
+               ? 1.0
+               : 0.0;
+  };
+  auto accuracy_at = [&](int64_t budget, uint64_t seed) {
+    Rng rng(seed);
+    ActiveLearnerSvm learner(ActiveLearnerOptions{});
+    EXPECT_TRUE(learner.Explore(pool, oracle, budget, &rng).ok());
+    int correct = 0;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (learner.Predict(pool[i]) == oracle(static_cast<int64_t>(i))) {
+        ++correct;
+      }
+    }
+    return static_cast<double>(correct) / static_cast<double>(pool.size());
+  };
+  EXPECT_GT(accuracy_at(80, 3), accuracy_at(12, 3) - 0.05);
+}
+
+TEST(ActiveLearnerTest, InvalidInputs) {
+  Rng rng(4);
+  ActiveLearnerSvm learner(ActiveLearnerOptions{});
+  const auto oracle = [](int64_t) { return 1.0; };
+  EXPECT_FALSE(learner.Explore({}, oracle, 10, &rng).ok());
+  EXPECT_FALSE(learner.Explore({{0, 0}}, oracle, 0, &rng).ok());
+}
+
+TEST(ActiveLearnerTest, BudgetLargerThanPool) {
+  Rng rng(5);
+  const auto pool = GridPool(4);  // 16 points.
+  const auto oracle = [&](int64_t i) {
+    return pool[static_cast<size_t>(i)][0] < 0.5 ? 1.0 : 0.0;
+  };
+  ActiveLearnerSvm learner(ActiveLearnerOptions{});
+  ASSERT_TRUE(learner.Explore(pool, oracle, 100, &rng).ok());
+  EXPECT_LE(learner.labels_used(), 16);
+}
+
+}  // namespace
+}  // namespace lte::baselines

@@ -1,0 +1,82 @@
+#include "baselines/aide.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::baselines {
+namespace {
+
+std::vector<std::vector<double>> GridPool(int side = 20) {
+  std::vector<std::vector<double>> pool;
+  for (int i = 0; i < side; ++i) {
+    for (int j = 0; j < side; ++j) {
+      pool.push_back({static_cast<double>(i) / (side - 1),
+                      static_cast<double>(j) / (side - 1)});
+    }
+  }
+  return pool;
+}
+
+TEST(AideTest, LearnsBoxTargetWithinBudget) {
+  Rng rng(1);
+  const auto pool = GridPool();
+  const auto in_box = [](const std::vector<double>& p) {
+    return p[0] > 0.2 && p[0] < 0.6 && p[1] > 0.2 && p[1] < 0.6;
+  };
+  const auto oracle = [&](int64_t i) {
+    return in_box(pool[static_cast<size_t>(i)]) ? 1.0 : 0.0;
+  };
+  Aide aide{AideOptions{}};
+  ASSERT_TRUE(aide.Explore(pool, oracle, 80, &rng).ok());
+  EXPECT_EQ(aide.labels_used(), 80);
+  int correct = 0;
+  for (const auto& p : pool) {
+    if ((aide.Predict(p) > 0.5) == in_box(p)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / pool.size(), 0.9);
+}
+
+TEST(AideTest, RespectsBudget) {
+  Rng rng(2);
+  const auto pool = GridPool(10);
+  const auto oracle = [&](int64_t i) {
+    return pool[static_cast<size_t>(i)][0] > 0.5 ? 1.0 : 0.0;
+  };
+  Aide aide{AideOptions{}};
+  ASSERT_TRUE(aide.Explore(pool, oracle, 23, &rng).ok());
+  EXPECT_EQ(aide.labels_used(), 23);
+}
+
+TEST(AideTest, TreeExposesLinearUirRepresentation) {
+  Rng rng(3);
+  const auto pool = GridPool();
+  const auto oracle = [&](int64_t i) {
+    const auto& p = pool[static_cast<size_t>(i)];
+    return p[0] < 0.5 ? 1.0 : 0.0;
+  };
+  Aide aide{AideOptions{}};
+  ASSERT_TRUE(aide.Explore(pool, oracle, 60, &rng).ok());
+  // The learned UIR is a union of boxes (AIDE's "linear" representation).
+  EXPECT_FALSE(aide.tree().ExtractPositivePaths().empty());
+}
+
+TEST(AideTest, InvalidInputs) {
+  Rng rng(4);
+  Aide aide{AideOptions{}};
+  const auto oracle = [](int64_t) { return 1.0; };
+  EXPECT_FALSE(aide.Explore({}, oracle, 10, &rng).ok());
+  EXPECT_FALSE(aide.Explore({{0, 0}}, oracle, 0, &rng).ok());
+}
+
+TEST(AideTest, AllNegativePoolPredictsNegative) {
+  Rng rng(5);
+  const auto pool = GridPool(8);
+  const auto oracle = [](int64_t) { return 0.0; };
+  Aide aide{AideOptions{}};
+  ASSERT_TRUE(aide.Explore(pool, oracle, 20, &rng).ok());
+  for (const auto& p : pool) {
+    EXPECT_EQ(aide.Predict(p), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace lte::baselines

@@ -1,0 +1,44 @@
+#include "data/column.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::data {
+namespace {
+
+TEST(ColumnTest, EmptyColumn) {
+  Column c("price");
+  EXPECT_EQ(c.name(), "price");
+  EXPECT_EQ(c.size(), 0);
+  EXPECT_TRUE(c.empty());
+  EXPECT_DOUBLE_EQ(c.min(), 0.0);
+  EXPECT_DOUBLE_EQ(c.max(), 0.0);
+}
+
+TEST(ColumnTest, AppendTracksMinMax) {
+  Column c("x");
+  c.Append(3.0);
+  EXPECT_DOUBLE_EQ(c.min(), 3.0);
+  EXPECT_DOUBLE_EQ(c.max(), 3.0);
+  c.Append(-1.0);
+  c.Append(7.0);
+  EXPECT_DOUBLE_EQ(c.min(), -1.0);
+  EXPECT_DOUBLE_EQ(c.max(), 7.0);
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_DOUBLE_EQ(c.value(1), -1.0);
+}
+
+TEST(ColumnTest, BulkConstructorComputesMinMax) {
+  Column c("y", {5.0, 2.0, 9.0, 2.0});
+  EXPECT_EQ(c.size(), 4);
+  EXPECT_DOUBLE_EQ(c.min(), 2.0);
+  EXPECT_DOUBLE_EQ(c.max(), 9.0);
+}
+
+TEST(ColumnTest, NegativeValues) {
+  Column c("z", {-5.0, -2.0});
+  EXPECT_DOUBLE_EQ(c.min(), -5.0);
+  EXPECT_DOUBLE_EQ(c.max(), -2.0);
+}
+
+}  // namespace
+}  // namespace lte::data

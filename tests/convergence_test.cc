@@ -1,0 +1,64 @@
+#include "eval/convergence.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::eval {
+namespace {
+
+TEST(ConvergenceTest, FirstRoundNeverConverges) {
+  ConvergenceTracker tracker(0.5, 1);
+  tracker.AddRound({1, 0, 1});
+  EXPECT_FALSE(tracker.Converged());
+  EXPECT_DOUBLE_EQ(tracker.LastChurn(), 1.0);
+}
+
+TEST(ConvergenceTest, StablePredictionsConverge) {
+  ConvergenceTracker tracker(0.01, 2);
+  const std::vector<double> preds = {1, 0, 1, 0, 1};
+  tracker.AddRound(preds);
+  tracker.AddRound(preds);
+  EXPECT_FALSE(tracker.Converged());  // One stable round, need two.
+  tracker.AddRound(preds);
+  EXPECT_TRUE(tracker.Converged());
+  EXPECT_DOUBLE_EQ(tracker.LastChurn(), 0.0);
+}
+
+TEST(ConvergenceTest, ChurnComputedAsFlipFraction) {
+  ConvergenceTracker tracker(0.1, 1);
+  tracker.AddRound({1, 1, 1, 1});
+  tracker.AddRound({1, 1, 0, 0});  // Two of four flipped.
+  EXPECT_DOUBLE_EQ(tracker.LastChurn(), 0.5);
+  EXPECT_FALSE(tracker.Converged());
+}
+
+TEST(ConvergenceTest, UnstableRoundResetsCounter) {
+  ConvergenceTracker tracker(0.1, 2);
+  const std::vector<double> a = {1, 0, 1, 0};
+  const std::vector<double> b = {0, 1, 0, 1};
+  tracker.AddRound(a);
+  tracker.AddRound(a);  // Stable round 1.
+  tracker.AddRound(b);  // Full churn: reset.
+  tracker.AddRound(b);  // Stable round 1 again.
+  EXPECT_FALSE(tracker.Converged());
+  tracker.AddRound(b);  // Stable round 2.
+  EXPECT_TRUE(tracker.Converged());
+}
+
+TEST(ConvergenceTest, ThresholdedPredictionsTreatedAsBinary) {
+  ConvergenceTracker tracker(0.01, 1);
+  tracker.AddRound({0.9, 0.1});
+  tracker.AddRound({0.8, 0.2});  // Same side of 0.5: no flips.
+  EXPECT_DOUBLE_EQ(tracker.LastChurn(), 0.0);
+  EXPECT_TRUE(tracker.Converged());
+}
+
+TEST(ConvergenceTest, CountsRounds) {
+  ConvergenceTracker tracker;
+  EXPECT_EQ(tracker.rounds(), 0);
+  tracker.AddRound({1});
+  tracker.AddRound({1});
+  EXPECT_EQ(tracker.rounds(), 2);
+}
+
+}  // namespace
+}  // namespace lte::eval

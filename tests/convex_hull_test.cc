@@ -1,0 +1,115 @@
+#include "geom/convex_hull.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lte::geom {
+namespace {
+
+TEST(ConvexHullTest, Square) {
+  const std::vector<Point2> pts = {
+      {0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}};
+  const std::vector<Point2> hull = ConvexHull(pts);
+  EXPECT_EQ(hull.size(), 4u);  // Interior point excluded.
+  EXPECT_GT(PolygonArea(hull), 0.0);
+  EXPECT_NEAR(PolygonArea(hull), 1.0, 1e-12);
+}
+
+TEST(ConvexHullTest, CcwOrientation) {
+  const std::vector<Point2> hull =
+      ConvexHull({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  ASSERT_EQ(hull.size(), 4u);
+  // A CCW polygon has positive signed area.
+  EXPECT_GT(PolygonArea(hull), 0.0);
+}
+
+TEST(ConvexHullTest, CollinearPointsDegenerateToSegment) {
+  const std::vector<Point2> hull =
+      ConvexHull({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  ASSERT_EQ(hull.size(), 2u);
+  EXPECT_DOUBLE_EQ(PolygonArea(hull), 0.0);
+}
+
+TEST(ConvexHullTest, SinglePoint) {
+  const std::vector<Point2> hull = ConvexHull({{1, 2}});
+  ASSERT_EQ(hull.size(), 1u);
+  EXPECT_DOUBLE_EQ(hull[0].x, 1.0);
+}
+
+TEST(ConvexHullTest, DuplicatePointsRemoved) {
+  const std::vector<Point2> hull =
+      ConvexHull({{0, 0}, {0, 0}, {1, 0}, {1, 0}, {0, 1}});
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST(ConvexHullTest, EmptyInput) {
+  EXPECT_TRUE(ConvexHull({}).empty());
+}
+
+TEST(ConvexHullTest, PointInConvexPolygon) {
+  const std::vector<Point2> hull =
+      ConvexHull({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  EXPECT_TRUE(PointInConvexPolygon({2, 2}, hull));
+  EXPECT_TRUE(PointInConvexPolygon({0, 0}, hull));   // Vertex.
+  EXPECT_TRUE(PointInConvexPolygon({2, 0}, hull));   // Edge.
+  EXPECT_FALSE(PointInConvexPolygon({5, 2}, hull));
+  EXPECT_FALSE(PointInConvexPolygon({-0.1, 2}, hull));
+}
+
+TEST(ConvexHullTest, PointInDegenerateSegment) {
+  const std::vector<Point2> seg = {{0, 0}, {2, 2}};
+  EXPECT_TRUE(PointInConvexPolygon({1, 1}, seg));
+  EXPECT_FALSE(PointInConvexPolygon({1, 1.5}, seg));
+  EXPECT_FALSE(PointInConvexPolygon({3, 3}, seg));
+}
+
+TEST(ConvexHullTest, PointInDegeneratePoint) {
+  const std::vector<Point2> pt = {{1, 1}};
+  EXPECT_TRUE(PointInConvexPolygon({1, 1}, pt));
+  EXPECT_FALSE(PointInConvexPolygon({1.1, 1}, pt));
+}
+
+TEST(ConvexHullTest, EmptyPolygonContainsNothing) {
+  EXPECT_FALSE(PointInConvexPolygon({0, 0}, {}));
+}
+
+TEST(ConvexHullTest, CrossSign) {
+  EXPECT_GT(Cross({0, 0}, {1, 0}, {1, 1}), 0.0);  // Left turn.
+  EXPECT_LT(Cross({0, 0}, {1, 0}, {1, -1}), 0.0); // Right turn.
+  EXPECT_DOUBLE_EQ(Cross({0, 0}, {1, 0}, {2, 0}), 0.0);
+}
+
+// Property: every input point is inside its own convex hull, and the hull
+// vertices are a subset of the input.
+TEST(ConvexHullTest, PropertyInputInsideHull) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Point2> pts;
+    const int n = 3 + static_cast<int>(rng.UniformInt(60));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.Uniform(-10, 10), rng.Uniform(-10, 10)});
+    }
+    const std::vector<Point2> hull = ConvexHull(pts);
+    for (const Point2& p : pts) {
+      EXPECT_TRUE(PointInConvexPolygon(p, hull, 1e-7))
+          << "trial " << trial << " point (" << p.x << "," << p.y << ")";
+    }
+  }
+}
+
+// Property: hull of the hull is the hull (idempotence).
+TEST(ConvexHullTest, PropertyIdempotent) {
+  Rng rng(43);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.Uniform(0, 5), rng.Uniform(0, 5)});
+  }
+  const std::vector<Point2> h1 = ConvexHull(pts);
+  const std::vector<Point2> h2 = ConvexHull(h1);
+  EXPECT_EQ(h1.size(), h2.size());
+  EXPECT_NEAR(PolygonArea(h1), PolygonArea(h2), 1e-9);
+}
+
+}  // namespace
+}  // namespace lte::geom

@@ -1,0 +1,86 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace lte::data {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  Table t({"x", "y"});
+  ASSERT_TRUE(t.AppendRow({1.5, -2.0}).ok());
+  ASSERT_TRUE(t.AppendRow({3.25, 4.0}).ok());
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+
+  Table loaded;
+  ASSERT_TRUE(ReadCsv(path, &loaded).ok());
+  EXPECT_EQ(loaded.num_rows(), 2);
+  EXPECT_EQ(loaded.AttributeNames(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_DOUBLE_EQ(loaded.column(0).value(0), 1.5);
+  EXPECT_DOUBLE_EQ(loaded.column(1).value(1), 4.0);
+}
+
+TEST_F(CsvTest, MissingFileIsIoError) {
+  Table t;
+  const Status s = ReadCsv(TempPath("does_not_exist.csv"), &t);
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, EmptyFileFails) {
+  const std::string path = TempPath("empty.csv");
+  WriteFile(path, "");
+  Table t;
+  EXPECT_EQ(ReadCsv(path, &t).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, NonNumericCellFails) {
+  const std::string path = TempPath("nonnum.csv");
+  WriteFile(path, "a,b\n1,hello\n");
+  Table t;
+  const Status s = ReadCsv(path, &t);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("hello"), std::string::npos);
+}
+
+TEST_F(CsvTest, RowWidthMismatchFails) {
+  const std::string path = TempPath("ragged.csv");
+  WriteFile(path, "a,b\n1,2\n3\n");
+  Table t;
+  EXPECT_EQ(ReadCsv(path, &t).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, SkipsBlankLinesAndCarriageReturns) {
+  const std::string path = TempPath("crlf.csv");
+  WriteFile(path, "a,b\r\n1,2\r\n\r\n3,4\r\n");
+  Table t;
+  ASSERT_TRUE(ReadCsv(path, &t).ok());
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_DOUBLE_EQ(t.column(1).value(1), 4.0);
+}
+
+TEST_F(CsvTest, ScientificNotationParses) {
+  const std::string path = TempPath("sci.csv");
+  WriteFile(path, "a\n1e-3\n-2.5E2\n");
+  Table t;
+  ASSERT_TRUE(ReadCsv(path, &t).ok());
+  EXPECT_DOUBLE_EQ(t.column(0).value(0), 1e-3);
+  EXPECT_DOUBLE_EQ(t.column(0).value(1), -250.0);
+}
+
+}  // namespace
+}  // namespace lte::data

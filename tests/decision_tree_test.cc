@@ -1,0 +1,138 @@
+#include "tree/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace lte::tree {
+namespace {
+
+TEST(DecisionTreeTest, FitsAxisAlignedBox) {
+  Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.Uniform();
+    const double b = rng.Uniform();
+    x.push_back({a, b});
+    y.push_back(a > 0.3 && a < 0.7 && b > 0.3 && b < 0.7 ? 1.0 : 0.0);
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train(x, y).ok());
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (tree.Predict(x[i]) == y[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / x.size(), 0.95);
+}
+
+TEST(DecisionTreeTest, PureNodeBecomesLeaf) {
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train({{0}, {1}, {2}}, {1, 1, 1}).ok());
+  EXPECT_EQ(tree.num_nodes(), 1);
+  EXPECT_EQ(tree.Predict({5.0}), 1.0);
+}
+
+TEST(DecisionTreeTest, SimpleThresholdSplit) {
+  DecisionTree tree;
+  ASSERT_TRUE(
+      tree.Train({{0}, {1}, {2}, {10}, {11}, {12}}, {0, 0, 0, 1, 1, 1}).ok());
+  EXPECT_EQ(tree.Predict({1.5}), 0.0);
+  EXPECT_EQ(tree.Predict({11.0}), 1.0);
+  // The threshold lies between the classes.
+  EXPECT_EQ(tree.Predict({5.9}), 0.0);
+  EXPECT_EQ(tree.Predict({6.1}), 1.0);
+}
+
+TEST(DecisionTreeTest, MaxDepthRespected) {
+  Rng rng(2);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.Uniform();
+    x.push_back({a});
+    // A wiggly target that would need many splits.
+    y.push_back(std::fmod(a * 10.0, 2.0) > 1.0 ? 1.0 : 0.0);
+  }
+  DecisionTreeOptions opt;
+  opt.max_depth = 2;
+  DecisionTree tree(opt);
+  ASSERT_TRUE(tree.Train(x, y).ok());
+  EXPECT_LE(tree.depth(), 2);
+}
+
+TEST(DecisionTreeTest, ProbabilityReflectsLeafPurity) {
+  // A node that cannot be split further (min_samples_split) keeps a
+  // fractional probability.
+  DecisionTreeOptions opt;
+  opt.max_depth = 0;
+  DecisionTree tree(opt);
+  ASSERT_TRUE(tree.Train({{0}, {1}, {2}, {3}}, {1, 1, 1, 0}).ok());
+  EXPECT_DOUBLE_EQ(tree.PredictProbability({0}), 0.75);
+  EXPECT_EQ(tree.Predict({0}), 1.0);
+}
+
+TEST(DecisionTreeTest, InvalidInputs) {
+  DecisionTree tree;
+  EXPECT_FALSE(tree.Train({}, {}).ok());
+  EXPECT_FALSE(tree.Train({{0}}, {1, 0}).ok());
+  EXPECT_FALSE(tree.Train({{0}}, {0.5}).ok());
+  EXPECT_FALSE(tree.Train({{0}, {1, 2}}, {0, 1}).ok());
+}
+
+TEST(DecisionTreeTest, PositivePathsCoverPositiveRegion) {
+  Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.Uniform();
+    const double b = rng.Uniform();
+    x.push_back({a, b});
+    y.push_back(a < 0.5 && b < 0.5 ? 1.0 : 0.0);
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train(x, y).ok());
+  const auto paths = tree.ExtractPositivePaths();
+  ASSERT_FALSE(paths.empty());
+  // Every positive-predicted point must fall in some positive path box.
+  auto in_some_box = [&](const std::vector<double>& p) {
+    for (const auto& path : paths) {
+      bool in = true;
+      for (size_t f = 0; f < p.size(); ++f) {
+        if (p[f] <= path.lower[f] || p[f] > path.upper[f]) {
+          in = false;
+          break;
+        }
+      }
+      if (in) return true;
+    }
+    return false;
+  };
+  for (const auto& p : x) {
+    EXPECT_EQ(tree.Predict(p) > 0.5, in_some_box(p));
+  }
+}
+
+TEST(DecisionTreeTest, PathsCarrySupportAndProbability) {
+  DecisionTree tree;
+  ASSERT_TRUE(
+      tree.Train({{0}, {1}, {2}, {10}, {11}, {12}}, {0, 0, 0, 1, 1, 1}).ok());
+  const auto paths = tree.ExtractPositivePaths();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].support, 3);
+  EXPECT_DOUBLE_EQ(paths[0].probability, 1.0);
+  EXPECT_GT(paths[0].lower[0], 2.0);
+  EXPECT_TRUE(std::isinf(paths[0].upper[0]));
+}
+
+TEST(DecisionTreeTest, DuplicateFeatureValuesDoNotSplit) {
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train({{1}, {1}, {1}, {1}}, {0, 1, 0, 1}).ok());
+  // No valid split exists; the root is a leaf predicting the majority tie.
+  EXPECT_EQ(tree.num_nodes(), 1);
+}
+
+}  // namespace
+}  // namespace lte::tree

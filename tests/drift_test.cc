@@ -1,0 +1,89 @@
+#include "cluster/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lte::cluster {
+namespace {
+
+std::vector<std::vector<double>> Blob(Rng* rng, double cx, double cy, int n) {
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng->Normal(cx, 0.5), rng->Normal(cy, 0.5)});
+  }
+  return pts;
+}
+
+class DriftTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(3);
+    // Two clusters with known centers.
+    centers_ = {{0.0, 0.0}, {10.0, 10.0}};
+    baseline_ = Blob(rng_.get(), 0, 0, 300);
+    const auto second = Blob(rng_.get(), 10, 10, 300);
+    baseline_.insert(baseline_.end(), second.begin(), second.end());
+  }
+
+  std::unique_ptr<Rng> rng_;
+  std::vector<std::vector<double>> centers_;
+  std::vector<std::vector<double>> baseline_;
+};
+
+TEST_F(DriftTest, SameDistributionNoDrift) {
+  DriftDetectorOptions opt;
+  opt.window_size = 200;
+  DriftDetector detector(centers_, baseline_, opt);
+  for (const auto& p : Blob(rng_.get(), 0, 0, 150)) detector.Offer(p);
+  for (const auto& p : Blob(rng_.get(), 10, 10, 150)) detector.Offer(p);
+  EXPECT_FALSE(detector.Drifted());
+  EXPECT_NEAR(detector.ErrorRatio(), 1.0, 0.2);
+}
+
+TEST_F(DriftTest, NewRegionTripsErrorRatio) {
+  DriftDetectorOptions opt;
+  opt.window_size = 200;
+  DriftDetector detector(centers_, baseline_, opt);
+  // Data moved to a region far from both centers.
+  for (const auto& p : Blob(rng_.get(), 30, -20, 250)) detector.Offer(p);
+  EXPECT_TRUE(detector.Drifted());
+  EXPECT_GT(detector.ErrorRatio(), 2.0);
+}
+
+TEST_F(DriftTest, MassShiftTripsAssignmentDistance) {
+  DriftDetectorOptions opt;
+  opt.window_size = 200;
+  opt.error_ratio_threshold = 1e9;  // Disable the error criterion.
+  DriftDetector detector(centers_, baseline_, opt);
+  // All mass collapses onto one cluster (50/50 -> 100/0).
+  for (const auto& p : Blob(rng_.get(), 0, 0, 250)) detector.Offer(p);
+  EXPECT_GT(detector.AssignmentDistance(), 0.4);
+  EXPECT_TRUE(detector.Drifted());
+}
+
+TEST_F(DriftTest, NoVerdictBeforeEnoughPoints) {
+  DriftDetectorOptions opt;
+  opt.window_size = 1000;
+  DriftDetector detector(centers_, baseline_, opt);
+  for (const auto& p : Blob(rng_.get(), 30, -20, 20)) detector.Offer(p);
+  // 20 < window/4: not enough evidence yet.
+  EXPECT_FALSE(detector.Drifted());
+}
+
+TEST_F(DriftTest, TumblingWindowUsesLatestComplete) {
+  DriftDetectorOptions opt;
+  opt.window_size = 100;
+  DriftDetector detector(centers_, baseline_, opt);
+  // First window: same distribution.
+  for (const auto& p : Blob(rng_.get(), 0, 0, 50)) detector.Offer(p);
+  for (const auto& p : Blob(rng_.get(), 10, 10, 50)) detector.Offer(p);
+  EXPECT_FALSE(detector.Drifted());
+  // Second window: drifted data.
+  for (const auto& p : Blob(rng_.get(), 30, -20, 100)) detector.Offer(p);
+  EXPECT_TRUE(detector.Drifted());
+  EXPECT_EQ(detector.points_seen(), 200);
+}
+
+}  // namespace
+}  // namespace lte::cluster

@@ -1,0 +1,100 @@
+#include "baselines/dsm.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::baselines {
+namespace {
+
+// 4-D pool; target: conjunctive convex box per 2-D subspace.
+std::vector<std::vector<double>> RandomPool(Rng* rng, int n = 600) {
+  std::vector<std::vector<double>> pool;
+  for (int i = 0; i < n; ++i) {
+    pool.push_back({rng->Uniform(), rng->Uniform(), rng->Uniform(),
+                    rng->Uniform()});
+  }
+  return pool;
+}
+
+bool InTarget(const std::vector<double>& x) {
+  // Subspace {0,1}: box [0.2,0.7]^2; subspace {2,3}: box [0.3,0.9]^2.
+  return x[0] >= 0.2 && x[0] <= 0.7 && x[1] >= 0.2 && x[1] <= 0.7 &&
+         x[2] >= 0.3 && x[2] <= 0.9 && x[3] >= 0.3 && x[3] <= 0.9;
+}
+
+TEST(DsmTest, LearnsConjunctiveConvexTarget) {
+  Rng rng(1);
+  const auto pool = RandomPool(&rng);
+  const auto oracle = [&](int64_t i) {
+    return InTarget(pool[static_cast<size_t>(i)]) ? 1.0 : 0.0;
+  };
+  Dsm dsm(DsmOptions{}, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(dsm.Explore(pool, oracle, 60, &rng).ok());
+  EXPECT_EQ(dsm.labels_used(), 60);
+
+  int correct = 0;
+  for (const auto& p : pool) {
+    if ((dsm.Predict(p) > 0.5) == InTarget(p)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / pool.size(), 0.85);
+}
+
+TEST(DsmTest, ThreeSetConjunctionLogic) {
+  Rng rng(2);
+  Dsm dsm(DsmOptions{}, {{0, 1}, {2, 3}});
+  const auto pool = RandomPool(&rng, 300);
+  const auto oracle = [&](int64_t i) {
+    return InTarget(pool[static_cast<size_t>(i)]) ? 1.0 : 0.0;
+  };
+  ASSERT_TRUE(dsm.Explore(pool, oracle, 50, &rng).ok());
+  // Provably-positive tuples must actually be positive (soundness of the
+  // polytope model under the convexity assumption).
+  int checked = 0;
+  for (const auto& p : pool) {
+    if (dsm.ClassifyThreeSet(p) == ThreeSet::kPositive) {
+      EXPECT_TRUE(InTarget(p));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(DsmTest, NegativeVerdictIsSound) {
+  Rng rng(3);
+  Dsm dsm(DsmOptions{}, {{0, 1}, {2, 3}});
+  const auto pool = RandomPool(&rng, 300);
+  const auto oracle = [&](int64_t i) {
+    return InTarget(pool[static_cast<size_t>(i)]) ? 1.0 : 0.0;
+  };
+  ASSERT_TRUE(dsm.Explore(pool, oracle, 50, &rng).ok());
+  for (const auto& p : pool) {
+    if (dsm.ClassifyThreeSet(p) == ThreeSet::kNegative) {
+      EXPECT_FALSE(InTarget(p));
+    }
+  }
+}
+
+TEST(DsmTest, InvalidInputs) {
+  Rng rng(4);
+  Dsm dsm(DsmOptions{}, {{0, 1}});
+  const auto oracle = [](int64_t) { return 1.0; };
+  EXPECT_FALSE(dsm.Explore({}, oracle, 10, &rng).ok());
+  EXPECT_FALSE(dsm.Explore({{0, 0}}, oracle, 0, &rng).ok());
+}
+
+TEST(DsmTest, OutperformsNothingnessOnAllNegativePool) {
+  // Degenerate: no positive tuples at all; DSM should predict ~everything
+  // negative rather than crash.
+  Rng rng(5);
+  const auto pool = RandomPool(&rng, 200);
+  const auto oracle = [](int64_t) { return 0.0; };
+  Dsm dsm(DsmOptions{}, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(dsm.Explore(pool, oracle, 30, &rng).ok());
+  int positives = 0;
+  for (const auto& p : pool) {
+    if (dsm.Predict(p) > 0.5) ++positives;
+  }
+  EXPECT_EQ(positives, 0);
+}
+
+}  // namespace
+}  // namespace lte::baselines

@@ -1,0 +1,159 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace lte::eval {
+namespace {
+
+RunnerOptions SmallRunnerOptions() {
+  RunnerOptions opt;
+  opt.explorer.task_gen.k_u = 30;
+  opt.explorer.task_gen.k_s = 10;  // Overridden per budget.
+  opt.explorer.task_gen.k_q = 30;
+  opt.explorer.task_gen.delta = 5;
+  opt.explorer.task_gen.alpha = 2;
+  opt.explorer.task_gen.psi = 8;
+  opt.explorer.learner.embedding_size = 12;
+  opt.explorer.learner.clf_hidden = {12};
+  opt.explorer.learner.num_memory_modes = 3;
+  opt.explorer.num_meta_tasks = 20;
+  opt.explorer.trainer.epochs = 2;
+  opt.explorer.trainer.task_batch_size = 10;
+  opt.explorer.trainer.local_steps = 5;
+  opt.explorer.trainer.local_lr = 0.2;
+  opt.explorer.trainer.global_lr = 0.1;
+  opt.explorer.online_steps = 20;
+  opt.explorer.online_lr = 0.2;
+  opt.explorer.encoder.num_gmm_components = 3;
+  opt.explorer.encoder.num_jenks_intervals = 3;
+  opt.eval_sample_rows = 300;
+  opt.pool_rows = 300;
+  opt.seed = 77;
+  return opt;
+}
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(13);
+    data::Table table = data::MakeBlobs(3000, 4, 4, &rng);
+    runner_ = std::make_unique<ExperimentRunner>(
+        std::move(table),
+        std::vector<data::Subspace>{data::Subspace{{0, 1}},
+                                    data::Subspace{{2, 3}}},
+        SmallRunnerOptions());
+    ASSERT_TRUE(runner_->Init().ok());
+  }
+
+  std::unique_ptr<ExperimentRunner> runner_;
+};
+
+TEST(MethodNameTest, AllNames) {
+  EXPECT_EQ(MethodName(Method::kAide), "AIDE");
+  EXPECT_EQ(MethodName(Method::kAlSvm), "AL-SVM");
+  EXPECT_EQ(MethodName(Method::kDsm), "DSM");
+  EXPECT_EQ(MethodName(Method::kSvm), "SVM");
+  EXPECT_EQ(MethodName(Method::kSvmR), "SVM^r");
+  EXPECT_EQ(MethodName(Method::kBasic), "Basic");
+  EXPECT_EQ(MethodName(Method::kMeta), "Meta");
+  EXPECT_EQ(MethodName(Method::kMetaStar), "Meta*");
+}
+
+TEST_F(ExperimentTest, NormalizedTableInUnitRange) {
+  const data::Table& t = runner_->normalized_table();
+  for (int64_t c = 0; c < t.num_columns(); ++c) {
+    EXPECT_GE(t.column(c).min(), 0.0);
+    EXPECT_LE(t.column(c).max(), 1.0);
+  }
+}
+
+TEST_F(ExperimentTest, EveryMethodRuns) {
+  const GroundTruthUir uir = runner_->GenerateUir({"t", 1, 10}, 2);
+  for (Method m : {Method::kSvm, Method::kSvmR, Method::kBasic, Method::kMeta,
+                   Method::kMetaStar, Method::kAide, Method::kAlSvm,
+                   Method::kDsm}) {
+    ExperimentResult res;
+    ASSERT_TRUE(runner_->Run(m, uir, 15, &res).ok()) << MethodName(m);
+    EXPECT_GE(res.f1, 0.0) << MethodName(m);
+    EXPECT_LE(res.f1, 1.0) << MethodName(m);
+    EXPECT_GT(res.labels_used, 0) << MethodName(m);
+    EXPECT_GE(res.online_seconds, 0.0) << MethodName(m);
+  }
+}
+
+TEST_F(ExperimentTest, BudgetTooSmallRejected) {
+  const GroundTruthUir uir = runner_->GenerateUir({"t", 1, 10}, 2);
+  ExperimentResult res;
+  EXPECT_FALSE(runner_->Run(Method::kMeta, uir, 6, &res).ok());
+}
+
+TEST_F(ExperimentTest, ExplorerCachedAcrossRuns) {
+  const GroundTruthUir uir = runner_->GenerateUir({"t", 1, 10}, 2);
+  ExperimentResult res;
+  ASSERT_TRUE(runner_->Run(Method::kMeta, uir, 15, &res).ok());
+  const double t1 = runner_->PretrainSeconds(15);
+  EXPECT_GT(t1, 0.0);
+  ASSERT_TRUE(runner_->Run(Method::kMetaStar, uir, 15, &res).ok());
+  EXPECT_DOUBLE_EQ(runner_->PretrainSeconds(15), t1);  // No retraining.
+}
+
+TEST_F(ExperimentTest, PrefixUirRestrictsDimensions) {
+  const GroundTruthUir uir = runner_->GenerateUir({"t", 1, 10}, 1);
+  EXPECT_EQ(uir.subspaces.size(), 1u);
+  ExperimentResult res;
+  ASSERT_TRUE(runner_->Run(Method::kBasic, uir, 15, &res).ok());
+  ASSERT_TRUE(runner_->Run(Method::kDsm, uir, 15, &res).ok());
+}
+
+TEST_F(ExperimentTest, MeanF1AndBudgetSearch) {
+  std::vector<GroundTruthUir> uirs;
+  for (int i = 0; i < 2; ++i) uirs.push_back(runner_->GenerateUir({"t", 1, 12}, 2));
+  double f1 = 0.0;
+  ASSERT_TRUE(runner_->MeanF1(Method::kSvm, uirs, 15, &f1).ok());
+  EXPECT_GE(f1, 0.0);
+  EXPECT_LE(f1, 1.0);
+
+  int64_t budget = 0;
+  ASSERT_TRUE(runner_->FindBudgetForTarget(Method::kSvm, uirs, /*target=*/0.0,
+                                           {15, 20}, &budget)
+                  .ok());
+  EXPECT_EQ(budget, 15);  // Target 0 is met immediately.
+  ASSERT_TRUE(runner_->FindBudgetForTarget(Method::kSvm, uirs, /*target=*/1.1,
+                                           {15}, &budget)
+                  .ok());
+  EXPECT_EQ(budget, -1);  // Unreachable target.
+}
+
+TEST_F(ExperimentTest, LabelNoisePlumbing) {
+  // Full noise (p=1) flips every label; the resulting F1 against the clean
+  // ground truth must be no better than the noise-free run's.
+  Rng rng(13);
+  data::Table table = data::MakeBlobs(3000, 4, 4, &rng);
+  RunnerOptions noisy_opt = SmallRunnerOptions();
+  noisy_opt.label_noise = 1.0;
+  ExperimentRunner noisy(std::move(table),
+                         {data::Subspace{{0, 1}}, data::Subspace{{2, 3}}},
+                         noisy_opt);
+  ASSERT_TRUE(noisy.Init().ok());
+  const GroundTruthUir uir = noisy.GenerateUir({"t", 1, 10}, 2);
+  ExperimentResult noisy_res;
+  ASSERT_TRUE(noisy.Run(Method::kSvm, uir, 15, &noisy_res).ok());
+
+  const GroundTruthUir clean_uir = runner_->GenerateUir({"t", 1, 10}, 2);
+  ExperimentResult clean_res;
+  ASSERT_TRUE(runner_->Run(Method::kSvm, clean_uir, 15, &clean_res).ok());
+  // Fully inverted labels cannot beat clean labels by a wide margin.
+  EXPECT_LE(noisy_res.f1, clean_res.f1 + 0.15);
+}
+
+TEST_F(ExperimentTest, InitValidation) {
+  RunnerOptions opt = SmallRunnerOptions();
+  data::Table empty({"a", "b"});
+  ExperimentRunner bad(std::move(empty), {data::Subspace{{0, 1}}}, opt);
+  EXPECT_FALSE(bad.Init().ok());
+}
+
+}  // namespace
+}  // namespace lte::eval

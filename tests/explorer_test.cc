@@ -1,0 +1,295 @@
+#include "core/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.h"
+
+namespace lte::core {
+namespace {
+
+ExplorerOptions SmallExplorerOptions() {
+  ExplorerOptions opt;
+  opt.task_gen.k_u = 30;
+  opt.task_gen.k_s = 10;
+  opt.task_gen.k_q = 30;
+  opt.task_gen.delta = 5;
+  opt.task_gen.alpha = 2;
+  opt.task_gen.psi = 8;
+  opt.learner.embedding_size = 12;
+  opt.learner.clf_hidden = {12};
+  opt.learner.num_memory_modes = 3;
+  opt.num_meta_tasks = 25;
+  opt.trainer.epochs = 3;
+  opt.trainer.task_batch_size = 10;
+  opt.trainer.local_steps = 6;
+  opt.trainer.local_lr = 0.2;
+  opt.trainer.global_lr = 0.1;
+  opt.online_steps = 25;
+  opt.online_lr = 0.2;
+  opt.encoder.num_gmm_components = 3;
+  opt.encoder.num_jenks_intervals = 3;
+  return opt;
+}
+
+class ExplorerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(23);
+    table_ = data::MakeBlobs(4000, 4, 5, rng_.get());
+    subspaces_ = {data::Subspace{{0, 1}}, data::Subspace{{2, 3}}};
+  }
+
+  std::unique_ptr<Rng> rng_;
+  data::Table table_;
+  std::vector<data::Subspace> subspaces_;
+};
+
+TEST_F(ExplorerTest, PretrainWithoutMetaPreparesContexts) {
+  Explorer ex(SmallExplorerOptions());
+  ASSERT_TRUE(ex.Pretrain(table_, subspaces_, /*train_meta=*/false,
+                          rng_.get())
+                  .ok());
+  EXPECT_EQ(ex.num_subspaces(), 2);
+  EXPECT_FALSE(ex.meta_trained());
+  EXPECT_EQ(ex.InitialTuples(0).size(), 15u);  // k_s + delta.
+  EXPECT_DOUBLE_EQ(ex.meta_training_seconds(), 0.0);
+}
+
+TEST_F(ExplorerTest, MetaVariantRequiresMetaTraining) {
+  Explorer ex(SmallExplorerOptions());
+  ASSERT_TRUE(
+      ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
+  std::vector<std::vector<double>> labels(2);
+  for (int s = 0; s < 2; ++s) {
+    labels[static_cast<size_t>(s)].assign(ex.InitialTuples(s).size(), 0.0);
+    labels[static_cast<size_t>(s)][0] = 1.0;
+  }
+  const Status status =
+      ex.StartExploration(labels, Variant::kMeta, rng_.get());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  // Basic works without meta-training.
+  EXPECT_TRUE(ex.StartExploration(labels, Variant::kBasic, rng_.get()).ok());
+}
+
+TEST_F(ExplorerTest, EndToEndBasicExploration) {
+  Explorer ex(SmallExplorerOptions());
+  ASSERT_TRUE(
+      ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
+
+  // Ground truth: interesting iff attr0 below its median (per subspace 0)
+  // — a simple axis-aligned region.
+  const double median0 = 0.5 * (table_.column(0).min() + table_.column(0).max());
+  std::vector<std::vector<double>> labels(2);
+  for (int s = 0; s < 2; ++s) {
+    for (const auto& tuple : ex.InitialTuples(s)) {
+      const bool interesting = s == 0 ? tuple[0] < median0 : true;
+      labels[static_cast<size_t>(s)].push_back(interesting ? 1.0 : 0.0);
+    }
+  }
+  ASSERT_TRUE(ex.StartExploration(labels, Variant::kBasic, rng_.get()).ok());
+  EXPECT_EQ(ex.active_subspaces(), 2);
+
+  // Prediction shape checks on arbitrary rows.
+  for (int64_t r = 0; r < 10; ++r) {
+    const double p = ex.PredictRow(table_.Row(r));
+    EXPECT_TRUE(p == 0.0 || p == 1.0);
+  }
+}
+
+TEST_F(ExplorerTest, MetaAndMetaStarExploration) {
+  Explorer ex(SmallExplorerOptions());
+  ASSERT_TRUE(
+      ex.Pretrain(table_, subspaces_, /*train_meta=*/true, rng_.get()).ok());
+  EXPECT_TRUE(ex.meta_trained());
+  EXPECT_GT(ex.meta_training_seconds(), 0.0);
+  EXPECT_GT(ex.task_generation_seconds(), 0.0);
+
+  std::vector<std::vector<double>> labels(2);
+  for (int s = 0; s < 2; ++s) {
+    for (const auto& tuple : ex.InitialTuples(s)) {
+      labels[static_cast<size_t>(s)].push_back(tuple[0] < 5.0 ? 1.0 : 0.0);
+    }
+  }
+  ASSERT_TRUE(ex.StartExploration(labels, Variant::kMeta, rng_.get()).ok());
+  const double meta_pred = ex.PredictRow(table_.Row(0));
+  EXPECT_TRUE(meta_pred == 0.0 || meta_pred == 1.0);
+
+  ASSERT_TRUE(
+      ex.StartExploration(labels, Variant::kMetaStar, rng_.get()).ok());
+  // Meta*'s FP repair: a far-away point must be negative.
+  std::vector<double> far_row = {1e6, 1e6, 1e6, 1e6};
+  EXPECT_DOUBLE_EQ(ex.PredictRow(far_row), 0.0);
+}
+
+TEST_F(ExplorerTest, PrefixExploration) {
+  Explorer ex(SmallExplorerOptions());
+  ASSERT_TRUE(
+      ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
+  std::vector<std::vector<double>> labels(1);
+  labels[0].assign(ex.InitialTuples(0).size(), 1.0);
+  ASSERT_TRUE(ex.StartExploration(labels, Variant::kBasic, rng_.get()).ok());
+  EXPECT_EQ(ex.active_subspaces(), 1);
+  // PredictRow conjoins only the first subspace.
+  const double p = ex.PredictRow(table_.Row(0));
+  EXPECT_TRUE(p == 0.0 || p == 1.0);
+}
+
+TEST_F(ExplorerTest, LabelShapeMismatchRejected) {
+  Explorer ex(SmallExplorerOptions());
+  ASSERT_TRUE(
+      ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
+  std::vector<std::vector<double>> labels(2);
+  labels[0].assign(3, 1.0);  // Wrong size.
+  labels[1].assign(ex.InitialTuples(1).size(), 1.0);
+  EXPECT_FALSE(ex.StartExploration(labels, Variant::kBasic, rng_.get()).ok());
+  // Too many label sets.
+  std::vector<std::vector<double>> too_many(3);
+  EXPECT_FALSE(
+      ex.StartExploration(too_many, Variant::kBasic, rng_.get()).ok());
+}
+
+TEST_F(ExplorerTest, EncoderOptionsPropagate) {
+  ExplorerOptions opt = SmallExplorerOptions();
+  opt.encoder.mode = preprocess::EncodingMode::kMinMaxOnly;
+  Explorer minmax(opt);
+  ASSERT_TRUE(
+      minmax.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get())
+          .ok());
+  // Min-max encoding is one value per attribute.
+  EXPECT_EQ(minmax.encoder().ProjectedWidth({0, 1}), 2);
+
+  opt.encoder.mode = preprocess::EncodingMode::kCombined;
+  Explorer combined(opt);
+  ASSERT_TRUE(
+      combined.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get())
+          .ok());
+  EXPECT_GT(combined.encoder().ProjectedWidth({0, 1}), 2);
+}
+
+TEST_F(ExplorerTest, SuggestTuplesRanksByUncertainty) {
+  Explorer ex(SmallExplorerOptions());
+  ASSERT_TRUE(
+      ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
+  std::vector<std::vector<double>> labels(1);
+  for (const auto& t : ex.InitialTuples(0)) {
+    labels[0].push_back(t[0] < 5.0 ? 1.0 : 0.0);
+  }
+  ASSERT_TRUE(ex.StartExploration(labels, Variant::kBasic, rng_.get()).ok());
+
+  std::vector<std::vector<double>> candidates;
+  for (int64_t r = 0; r < 200; ++r) {
+    const std::vector<double> row = table_.Row(r);
+    candidates.push_back({row[0], row[1]});
+  }
+  const std::vector<int64_t> picked = ex.SuggestTuples(0, candidates, 5);
+  ASSERT_EQ(picked.size(), 5u);
+  // Every index valid and distinct.
+  std::set<int64_t> uniq(picked.begin(), picked.end());
+  EXPECT_EQ(uniq.size(), 5u);
+  for (int64_t i : picked) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 200);
+  }
+  // k larger than the candidate set clamps.
+  EXPECT_EQ(ex.SuggestTuples(0, candidates, 1000).size(), 200u);
+}
+
+TEST_F(ExplorerTest, ContinueExplorationRefinesModel) {
+  Explorer ex(SmallExplorerOptions());
+  ASSERT_TRUE(
+      ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
+  const double threshold = 5.0;
+  std::vector<std::vector<double>> labels(1);
+  for (const auto& t : ex.InitialTuples(0)) {
+    labels[0].push_back(t[0] < threshold ? 1.0 : 0.0);
+  }
+  ASSERT_TRUE(ex.StartExploration(labels, Variant::kBasic, rng_.get()).ok());
+
+  // Accuracy over a probe set before and after extra labelled rounds.
+  auto accuracy = [&]() {
+    int correct = 0;
+    for (int64_t r = 0; r < 600; ++r) {
+      const std::vector<double> row = table_.Row(r);
+      const std::vector<double> p = {row[0], row[1]};
+      const double truth = p[0] < threshold ? 1.0 : 0.0;
+      if (ex.PredictSubspace(0, p) == truth) ++correct;
+    }
+    return static_cast<double>(correct) / 600.0;
+  };
+  const double before = accuracy();
+  // Feed 100 extra labelled tuples (cumulative with the initial ones).
+  std::vector<std::vector<double>> points;
+  std::vector<double> extra_labels;
+  for (int64_t r = 0; r < 100; ++r) {
+    const std::vector<double> row = table_.Row(r);
+    points.push_back({row[0], row[1]});
+    extra_labels.push_back(row[0] < threshold ? 1.0 : 0.0);
+  }
+  ASSERT_TRUE(
+      ex.ContinueExploration(0, points, extra_labels, rng_.get()).ok());
+  EXPECT_GE(accuracy(), before - 0.05);  // Must not collapse...
+  EXPECT_GT(accuracy(), 0.7);            // ...and should be decent.
+
+  // Invalid uses.
+  EXPECT_FALSE(ex.ContinueExploration(5, points, extra_labels, rng_.get())
+                   .ok());  // Inactive subspace.
+  EXPECT_FALSE(ex.ContinueExploration(0, points, {1.0}, rng_.get()).ok());
+  EXPECT_FALSE(ex.ContinueExploration(0, {}, {}, rng_.get()).ok());
+}
+
+TEST_F(ExplorerTest, RetrieveMatchesReturnsPredictedRows) {
+  Explorer ex(SmallExplorerOptions());
+  ASSERT_TRUE(
+      ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
+  std::vector<std::vector<double>> labels(2);
+  for (int s = 0; s < 2; ++s) {
+    for (const auto& t : ex.InitialTuples(s)) {
+      labels[static_cast<size_t>(s)].push_back(t[0] < 5.0 ? 1.0 : 0.0);
+    }
+  }
+  ASSERT_TRUE(ex.StartExploration(labels, Variant::kBasic, rng_.get()).ok());
+  const std::vector<int64_t> matches = ex.RetrieveMatches(table_);
+  for (int64_t r : matches) {
+    EXPECT_DOUBLE_EQ(ex.PredictRow(table_.Row(r)), 1.0);
+  }
+  // A limit caps and preserves the prefix.
+  if (matches.size() > 3) {
+    const std::vector<int64_t> limited = ex.RetrieveMatches(table_, 3);
+    ASSERT_EQ(limited.size(), 3u);
+    EXPECT_EQ(limited[0], matches[0]);
+    EXPECT_EQ(limited[2], matches[2]);
+  }
+}
+
+TEST_F(ExplorerTest, OneDimensionalSubspaceEndToEnd) {
+  // A 5-attribute table split as 2D + 2D + 1D (the CAR layout).
+  data::Table table = data::MakeBlobs(4000, 5, 4, rng_.get());
+  std::vector<data::Subspace> subspaces = {
+      data::Subspace{{0, 1}}, data::Subspace{{2, 3}}, data::Subspace{{4}}};
+  Explorer ex(SmallExplorerOptions());
+  ASSERT_TRUE(
+      ex.Pretrain(table, subspaces, /*train_meta=*/true, rng_.get()).ok());
+  std::vector<std::vector<double>> labels(3);
+  for (int s = 0; s < 3; ++s) {
+    for (const auto& t : ex.InitialTuples(s)) {
+      labels[static_cast<size_t>(s)].push_back(t[0] < 5.0 ? 1.0 : 0.0);
+    }
+  }
+  ASSERT_TRUE(
+      ex.StartExploration(labels, Variant::kMetaStar, rng_.get()).ok());
+  for (int64_t r = 0; r < 20; ++r) {
+    const double p = ex.PredictRow(table.Row(r));
+    EXPECT_TRUE(p == 0.0 || p == 1.0);
+  }
+}
+
+TEST_F(ExplorerTest, StartBeforePretrainFails) {
+  Explorer ex(SmallExplorerOptions());
+  EXPECT_EQ(ex.StartExploration({{1.0}}, Variant::kBasic, rng_.get()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace lte::core

@@ -1,0 +1,92 @@
+#include "preprocess/gmm.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lte::preprocess {
+namespace {
+
+std::vector<double> BimodalSample(Rng* rng, int n_per_mode = 500) {
+  std::vector<double> v;
+  for (int i = 0; i < n_per_mode; ++i) v.push_back(rng->Normal(0.0, 0.5));
+  for (int i = 0; i < n_per_mode; ++i) v.push_back(rng->Normal(10.0, 0.5));
+  return v;
+}
+
+TEST(GmmTest, RecoversBimodalMeans) {
+  Rng rng(1);
+  const std::vector<double> v = BimodalSample(&rng);
+  GaussianMixture g;
+  ASSERT_TRUE(g.Fit(v, 2, &rng).ok());
+  std::vector<double> means = {g.components()[0].mean, g.components()[1].mean};
+  std::sort(means.begin(), means.end());
+  EXPECT_NEAR(means[0], 0.0, 0.3);
+  EXPECT_NEAR(means[1], 10.0, 0.3);
+}
+
+TEST(GmmTest, WeightsSumToOne) {
+  Rng rng(2);
+  const std::vector<double> v = BimodalSample(&rng);
+  GaussianMixture g;
+  ASSERT_TRUE(g.Fit(v, 3, &rng).ok());
+  double total = 0.0;
+  for (const auto& c : g.components()) total += c.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GmmTest, MostLikelyComponentSeparatesModes) {
+  Rng rng(3);
+  const std::vector<double> v = BimodalSample(&rng);
+  GaussianMixture g;
+  ASSERT_TRUE(g.Fit(v, 2, &rng).ok());
+  EXPECT_NE(g.MostLikelyComponent(0.0), g.MostLikelyComponent(10.0));
+  EXPECT_EQ(g.MostLikelyComponent(0.2), g.MostLikelyComponent(-0.2));
+}
+
+TEST(GmmTest, NormalizeWithinStaysInUnitInterval) {
+  Rng rng(4);
+  const std::vector<double> v = BimodalSample(&rng);
+  GaussianMixture g;
+  ASSERT_TRUE(g.Fit(v, 2, &rng).ok());
+  for (double x : {-5.0, 0.0, 5.0, 10.0, 20.0}) {
+    const int64_t c = g.MostLikelyComponent(x);
+    const double n = g.NormalizeWithin(c, x);
+    EXPECT_GE(n, 0.0);
+    EXPECT_LE(n, 1.0);
+  }
+  // The component mean normalizes to the middle of its range.
+  const int64_t c = g.MostLikelyComponent(0.0);
+  EXPECT_NEAR(g.NormalizeWithin(c, g.components()[c].mean), 0.5, 1e-9);
+}
+
+TEST(GmmTest, MixtureLikelihoodBeatsSingleGaussianOnBimodalData) {
+  Rng rng(5);
+  const std::vector<double> v = BimodalSample(&rng);
+  GaussianMixture g2;
+  GaussianMixture g1;
+  ASSERT_TRUE(g2.Fit(v, 2, &rng).ok());
+  ASSERT_TRUE(g1.Fit(v, 1, &rng).ok());
+  EXPECT_GT(g2.MeanLogLikelihood(v), g1.MeanLogLikelihood(v) + 0.5);
+}
+
+TEST(GmmTest, InvalidArguments) {
+  Rng rng(6);
+  GaussianMixture g;
+  EXPECT_FALSE(g.Fit({1.0, 2.0}, 0, &rng).ok());
+  EXPECT_FALSE(g.Fit({1.0}, 2, &rng).ok());
+}
+
+TEST(GmmTest, ConstantDataDoesNotCrash) {
+  Rng rng(7);
+  const std::vector<double> v(100, 5.0);
+  GaussianMixture g;
+  ASSERT_TRUE(g.Fit(v, 2, &rng).ok());
+  EXPECT_EQ(g.MostLikelyComponent(5.0),
+            g.MostLikelyComponent(5.0));  // Stable.
+  const int64_t c = g.MostLikelyComponent(5.0);
+  EXPECT_GE(g.NormalizeWithin(c, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace lte::preprocess

@@ -1,0 +1,93 @@
+#include "preprocess/jenks.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lte::preprocess {
+namespace {
+
+TEST(JenksTest, FindsObviousBreaks) {
+  // Three tight value groups.
+  std::vector<double> v;
+  for (int i = 0; i < 30; ++i) v.push_back(1.0 + 0.01 * i);
+  for (int i = 0; i < 30; ++i) v.push_back(50.0 + 0.01 * i);
+  for (int i = 0; i < 30; ++i) v.push_back(100.0 + 0.01 * i);
+  JenksBreaks j;
+  ASSERT_TRUE(j.Fit(v, 3).ok());
+  EXPECT_EQ(j.num_intervals(), 3);
+  EXPECT_EQ(j.IntervalOf(1.1), 0);
+  EXPECT_EQ(j.IntervalOf(50.1), 1);
+  EXPECT_EQ(j.IntervalOf(100.1), 2);
+  EXPECT_GT(j.goodness_of_fit(), 0.99);
+}
+
+TEST(JenksTest, BoundsArePartition) {
+  Rng rng(1);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.Uniform(0, 100));
+  JenksBreaks j;
+  ASSERT_TRUE(j.Fit(v, 5).ok());
+  const auto& lo = j.lower_bounds();
+  const auto& hi = j.upper_bounds();
+  ASSERT_EQ(lo.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_LE(lo[i], hi[i]);
+  for (size_t i = 1; i < 5; ++i) EXPECT_LE(hi[i - 1], lo[i]);
+}
+
+TEST(JenksTest, OutOfRangeClampsToEdgeIntervals) {
+  std::vector<double> v = {1, 2, 3, 10, 11, 12};
+  JenksBreaks j;
+  ASSERT_TRUE(j.Fit(v, 2).ok());
+  EXPECT_EQ(j.IntervalOf(-100.0), 0);
+  EXPECT_EQ(j.IntervalOf(1000.0), 1);
+}
+
+TEST(JenksTest, NormalizeWithinUnitInterval) {
+  std::vector<double> v = {0, 1, 2, 3, 4, 10, 11, 12, 13, 14};
+  JenksBreaks j;
+  ASSERT_TRUE(j.Fit(v, 2).ok());
+  for (double x : {-1.0, 0.0, 2.0, 7.0, 12.0, 20.0}) {
+    const int64_t i = j.IntervalOf(x);
+    const double n = j.NormalizeWithin(i, x);
+    EXPECT_GE(n, 0.0);
+    EXPECT_LE(n, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(j.NormalizeWithin(0, 2.0), 0.5);
+}
+
+TEST(JenksTest, SingleInterval) {
+  std::vector<double> v = {5, 6, 7};
+  JenksBreaks j;
+  ASSERT_TRUE(j.Fit(v, 1).ok());
+  EXPECT_EQ(j.IntervalOf(6.0), 0);
+  EXPECT_DOUBLE_EQ(j.goodness_of_fit(), 0.0);  // No split, no gain.
+}
+
+TEST(JenksTest, InvalidArguments) {
+  JenksBreaks j;
+  EXPECT_FALSE(j.Fit({1.0, 2.0}, 0).ok());
+  EXPECT_FALSE(j.Fit({1.0}, 2).ok());
+}
+
+TEST(JenksTest, IdenticalValues) {
+  std::vector<double> v(50, 42.0);
+  JenksBreaks j;
+  ASSERT_TRUE(j.Fit(v, 3).ok());
+  EXPECT_GE(j.IntervalOf(42.0), 0);
+  EXPECT_LT(j.IntervalOf(42.0), 3);
+}
+
+TEST(JenksTest, GoodnessImprovesWithMoreIntervals) {
+  Rng rng(2);
+  std::vector<double> v;
+  for (int i = 0; i < 300; ++i) v.push_back(rng.Uniform(0, 100));
+  JenksBreaks j2;
+  JenksBreaks j8;
+  ASSERT_TRUE(j2.Fit(v, 2).ok());
+  ASSERT_TRUE(j8.Fit(v, 8).ok());
+  EXPECT_GT(j8.goodness_of_fit(), j2.goodness_of_fit());
+}
+
+}  // namespace
+}  // namespace lte::preprocess

@@ -1,0 +1,49 @@
+#include "svm/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lte::svm {
+namespace {
+
+TEST(KernelTest, Linear) {
+  Kernel k;
+  k.type = KernelType::kLinear;
+  EXPECT_DOUBLE_EQ(k.Evaluate({1, 2}, {3, 4}, 1.0), 11.0);
+}
+
+TEST(KernelTest, RbfIsOneAtIdenticalPoints) {
+  Kernel k;
+  k.type = KernelType::kRbf;
+  EXPECT_DOUBLE_EQ(k.Evaluate({1, 2}, {1, 2}, 0.5), 1.0);
+}
+
+TEST(KernelTest, RbfDecaysWithDistance) {
+  Kernel k;
+  k.type = KernelType::kRbf;
+  const double near = k.Evaluate({0, 0}, {1, 0}, 0.5);
+  const double far = k.Evaluate({0, 0}, {3, 0}, 0.5);
+  EXPECT_GT(near, far);
+  EXPECT_NEAR(near, std::exp(-0.5), 1e-12);
+}
+
+TEST(KernelTest, Polynomial) {
+  Kernel k;
+  k.type = KernelType::kPolynomial;
+  k.coef0 = 1.0;
+  k.degree = 2;
+  // (0.5 * 2 + 1)^2 = 4.
+  EXPECT_DOUBLE_EQ(k.Evaluate({1, 1}, {1, 1}, 0.5), 4.0);
+}
+
+TEST(KernelTest, SymmetricInArguments) {
+  Kernel k;
+  k.type = KernelType::kRbf;
+  const std::vector<double> a = {1.0, -2.0, 0.5};
+  const std::vector<double> b = {0.0, 3.0, 1.5};
+  EXPECT_DOUBLE_EQ(k.Evaluate(a, b, 0.7), k.Evaluate(b, a, 0.7));
+}
+
+}  // namespace
+}  // namespace lte::svm

@@ -1,0 +1,123 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace lte::cluster {
+namespace {
+
+std::vector<std::vector<double>> ThreeBlobs(Rng* rng, int per_blob = 100) {
+  const std::vector<std::vector<double>> centers = {
+      {0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  std::vector<std::vector<double>> pts;
+  for (const auto& c : centers) {
+    for (int i = 0; i < per_blob; ++i) {
+      pts.push_back({c[0] + rng->Normal(0, 0.5), c[1] + rng->Normal(0, 0.5)});
+    }
+  }
+  return pts;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Rng rng(1);
+  const auto pts = ThreeBlobs(&rng);
+  KMeansOptions opt;
+  opt.k = 3;
+  KMeansResult res;
+  ASSERT_TRUE(KMeans(pts, opt, &rng, &res).ok());
+  ASSERT_EQ(res.centers.size(), 3u);
+
+  // Every true blob center should be close to some found center.
+  for (const std::vector<double>& truth :
+       {std::vector<double>{0, 0}, {10, 0}, {0, 10}}) {
+    double best = 1e18;
+    for (const auto& c : res.centers) {
+      best = std::min(best, EuclideanDistance(truth, c));
+    }
+    EXPECT_LT(best, 1.0);
+  }
+}
+
+TEST(KMeansTest, AssignmentsConsistentWithCenters) {
+  Rng rng(2);
+  const auto pts = ThreeBlobs(&rng);
+  KMeansOptions opt;
+  opt.k = 3;
+  KMeansResult res;
+  ASSERT_TRUE(KMeans(pts, opt, &rng, &res).ok());
+  ASSERT_EQ(res.assignments.size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const auto assigned = static_cast<size_t>(res.assignments[i]);
+    const double d_assigned = SquaredDistance(pts[i], res.centers[assigned]);
+    for (const auto& c : res.centers) {
+      EXPECT_LE(d_assigned, SquaredDistance(pts[i], c) + 1e-9);
+    }
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(3);
+  const auto pts = ThreeBlobs(&rng);
+  KMeansOptions opt;
+  KMeansResult res2;
+  KMeansResult res6;
+  opt.k = 2;
+  ASSERT_TRUE(KMeans(pts, opt, &rng, &res2).ok());
+  opt.k = 6;
+  ASSERT_TRUE(KMeans(pts, opt, &rng, &res6).ok());
+  EXPECT_LT(res6.inertia, res2.inertia);
+}
+
+TEST(KMeansTest, KEqualsNumberOfPoints) {
+  Rng rng(4);
+  const std::vector<std::vector<double>> pts = {{0, 0}, {1, 1}, {2, 2}};
+  KMeansOptions opt;
+  opt.k = 3;
+  KMeansResult res;
+  ASSERT_TRUE(KMeans(pts, opt, &rng, &res).ok());
+  EXPECT_NEAR(res.inertia, 0.0, 1e-18);
+}
+
+TEST(KMeansTest, InvalidArguments) {
+  Rng rng(5);
+  KMeansResult res;
+  KMeansOptions opt;
+  opt.k = 0;
+  EXPECT_FALSE(KMeans({{0, 0}}, opt, &rng, &res).ok());
+  opt.k = 5;
+  EXPECT_FALSE(KMeans({{0, 0}}, opt, &rng, &res).ok());
+  opt.k = 1;
+  EXPECT_FALSE(KMeans({}, opt, &rng, &res).ok());
+  EXPECT_FALSE(KMeans({{0, 0}, {1}}, opt, &rng, &res).ok());
+}
+
+TEST(KMeansTest, DuplicatePointsDoNotCrash) {
+  Rng rng(6);
+  std::vector<std::vector<double>> pts(50, {1.0, 1.0});
+  KMeansOptions opt;
+  opt.k = 4;
+  KMeansResult res;
+  ASSERT_TRUE(KMeans(pts, opt, &rng, &res).ok());
+  EXPECT_EQ(res.centers.size(), 4u);
+}
+
+TEST(KMeansTest, OneDimensionalData) {
+  Rng rng(7);
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({rng.Normal(0, 0.1)});
+  for (int i = 0; i < 50; ++i) pts.push_back({rng.Normal(5, 0.1)});
+  KMeansOptions opt;
+  opt.k = 2;
+  KMeansResult res;
+  ASSERT_TRUE(KMeans(pts, opt, &rng, &res).ok());
+  std::vector<double> cs = {res.centers[0][0], res.centers[1][0]};
+  std::sort(cs.begin(), cs.end());
+  EXPECT_NEAR(cs[0], 0.0, 0.2);
+  EXPECT_NEAR(cs[1], 5.0, 0.2);
+}
+
+}  // namespace
+}  // namespace lte::cluster

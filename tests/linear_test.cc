@@ -1,0 +1,113 @@
+#include "nn/linear.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::nn {
+namespace {
+
+TEST(LinearTest, ForwardComputesAffineMap) {
+  Rng rng(1);
+  Linear layer(2, 2, &rng);
+  // Overwrite parameters to known values via the flat interface.
+  // Layout: weights row-major (out x in), then bias.
+  std::vector<double> params = {1, 2,   // W row 0
+                                3, 4,   // W row 1
+                                0.5, -0.5};
+  size_t offset = 0;
+  layer.LoadParameters(params, &offset);
+  EXPECT_EQ(offset, params.size());
+  const std::vector<double> y = layer.Forward({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.5);
+  EXPECT_DOUBLE_EQ(y[1], 6.5);
+}
+
+TEST(LinearTest, ParameterRoundTrip) {
+  Rng rng(2);
+  Linear layer(3, 4, &rng);
+  EXPECT_EQ(layer.ParameterCount(), 3 * 4 + 4);
+  std::vector<double> params;
+  layer.AppendParameters(&params);
+  EXPECT_EQ(params.size(), 16u);
+  // Round-trip through LoadParameters.
+  size_t offset = 0;
+  layer.LoadParameters(params, &offset);
+  std::vector<double> params2;
+  layer.AppendParameters(&params2);
+  EXPECT_EQ(params, params2);
+}
+
+TEST(LinearTest, BackwardGradInIsWTransposeG) {
+  Rng rng(3);
+  Linear layer(2, 2, &rng);
+  std::vector<double> params = {1, 2, 3, 4, 0, 0};
+  size_t offset = 0;
+  layer.LoadParameters(params, &offset);
+  const std::vector<double> gin = layer.Backward({1.0, 1.0}, {1.0, 1.0});
+  // W^T g = [1+3, 2+4].
+  EXPECT_DOUBLE_EQ(gin[0], 4.0);
+  EXPECT_DOUBLE_EQ(gin[1], 6.0);
+}
+
+TEST(LinearTest, GradientsMatchFiniteDifference) {
+  Rng rng(4);
+  Linear layer(3, 2, &rng);
+  const std::vector<double> x = {0.3, -0.7, 1.2};
+  // Scalar objective: sum of outputs. dL/dy = (1, 1).
+  auto objective = [&]() {
+    const std::vector<double> y = layer.Forward(x);
+    return y[0] + y[1];
+  };
+  layer.ZeroGrad();
+  layer.Backward(x, {1.0, 1.0});
+  std::vector<double> analytic;
+  layer.AppendGradients(&analytic);
+
+  std::vector<double> params;
+  layer.AppendParameters(&params);
+  const double eps = 1e-6;
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::vector<double> p = params;
+    p[i] += eps;
+    size_t off = 0;
+    layer.LoadParameters(p, &off);
+    const double up = objective();
+    p[i] -= 2 * eps;
+    off = 0;
+    layer.LoadParameters(p, &off);
+    const double down = objective();
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric, 1e-5) << "param " << i;
+    off = 0;
+    layer.LoadParameters(params, &off);
+  }
+}
+
+TEST(LinearTest, GradientsAccumulateAcrossBackwardCalls) {
+  Rng rng(5);
+  Linear layer(1, 1, &rng);
+  layer.ZeroGrad();
+  layer.Backward({2.0}, {1.0});
+  layer.Backward({2.0}, {1.0});
+  std::vector<double> grads;
+  layer.AppendGradients(&grads);
+  EXPECT_DOUBLE_EQ(grads[0], 4.0);  // dW accumulated twice.
+  EXPECT_DOUBLE_EQ(grads[1], 2.0);  // db accumulated twice.
+}
+
+TEST(LinearTest, ApplyGradientsIsSgdStep) {
+  Rng rng(6);
+  Linear layer(1, 1, &rng);
+  std::vector<double> params = {2.0, 1.0};
+  size_t off = 0;
+  layer.LoadParameters(params, &off);
+  layer.ZeroGrad();
+  layer.Backward({1.0}, {1.0});  // dW = 1, db = 1.
+  layer.ApplyGradients(0.1);
+  std::vector<double> updated;
+  layer.AppendParameters(&updated);
+  EXPECT_DOUBLE_EQ(updated[0], 1.9);
+  EXPECT_DOUBLE_EQ(updated[1], 0.9);
+}
+
+}  // namespace
+}  // namespace lte::nn

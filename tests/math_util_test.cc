@@ -1,0 +1,89 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lte {
+namespace {
+
+TEST(MathUtilTest, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 1, 1}, {1, 1, 1}), 0.0);
+}
+
+TEST(MathUtilTest, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(MathUtilTest, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Norm({3, 4}), 5.0);
+}
+
+TEST(MathUtilTest, CosineSimilarity) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {-1, 0}), -1.0, 1e-12);
+  // Zero vector convention.
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(MathUtilTest, SoftmaxSumsToOneAndOrders) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  SoftmaxInPlace(&v);
+  EXPECT_NEAR(v[0] + v[1] + v[2], 1.0, 1e-12);
+  EXPECT_LT(v[0], v[1]);
+  EXPECT_LT(v[1], v[2]);
+}
+
+TEST(MathUtilTest, SoftmaxStableForLargeInputs) {
+  std::vector<double> v = {1000.0, 1000.0};
+  SoftmaxInPlace(&v);
+  EXPECT_NEAR(v[0], 0.5, 1e-12);
+  EXPECT_NEAR(v[1], 0.5, 1e-12);
+}
+
+TEST(MathUtilTest, SoftmaxEmptyIsNoop) {
+  std::vector<double> v;
+  SoftmaxInPlace(&v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(MathUtilTest, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(Mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({2, 4, 6}), 8.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Variance({5}), 0.0);
+}
+
+TEST(MathUtilTest, LogGaussianPdfMatchesClosedForm) {
+  const double lp = LogGaussianPdf(0.0, 0.0, 1.0);
+  EXPECT_NEAR(lp, -0.5 * std::log(2.0 * M_PI), 1e-12);
+  // Variance floor prevents -inf.
+  EXPECT_TRUE(std::isfinite(LogGaussianPdf(1.0, 0.0, 0.0)));
+}
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtilTest, ArgSmallestK) {
+  const std::vector<double> v = {5.0, 1.0, 4.0, 2.0, 3.0};
+  const std::vector<size_t> idx = ArgSmallestK(v, 3);
+  EXPECT_EQ(idx, (std::vector<size_t>{1, 3, 4}));
+}
+
+TEST(MathUtilTest, ArgSmallestKZero) {
+  EXPECT_TRUE(ArgSmallestK({1.0, 2.0}, 0).empty());
+}
+
+TEST(MathUtilTest, ArgSmallestKAll) {
+  const std::vector<size_t> idx = ArgSmallestK({3.0, 1.0, 2.0}, 3);
+  EXPECT_EQ(idx, (std::vector<size_t>{1, 2, 0}));
+}
+
+}  // namespace
+}  // namespace lte

@@ -1,0 +1,134 @@
+#include "core/meta_task.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::core {
+namespace {
+
+std::vector<std::vector<double>> UniformPoints(Rng* rng, int n = 3000) {
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng->Uniform(), rng->Uniform()});
+  }
+  return pts;
+}
+
+MetaTaskGenOptions SmallOptions() {
+  MetaTaskGenOptions opt;
+  opt.k_u = 40;
+  opt.k_s = 10;
+  opt.k_q = 30;
+  opt.delta = 5;
+  opt.alpha = 3;
+  opt.psi = 8;
+  opt.min_cluster_sample = 512;
+  return opt;
+}
+
+TEST(MetaTaskGeneratorTest, InitBuildsContexts) {
+  Rng rng(1);
+  MetaTaskGenerator gen(SmallOptions());
+  ASSERT_TRUE(gen.Init(UniformPoints(&rng), &rng).ok());
+  const SubspaceContext& ctx = gen.context();
+  EXPECT_EQ(ctx.centers_u.size(), 40u);
+  EXPECT_EQ(ctx.centers_s.size(), 10u);
+  EXPECT_EQ(ctx.centers_q.size(), 30u);
+  EXPECT_EQ(ctx.proximity_u.num_rows(), 40);
+  EXPECT_EQ(ctx.proximity_u.num_cols(), 40);
+  EXPECT_EQ(ctx.proximity_s.num_rows(), 10);
+  EXPECT_EQ(ctx.proximity_s.num_cols(), 40);
+}
+
+TEST(MetaTaskGeneratorTest, TaskShapes) {
+  Rng rng(2);
+  MetaTaskGenerator gen(SmallOptions());
+  ASSERT_TRUE(gen.Init(UniformPoints(&rng), &rng).ok());
+  const MetaTask t = gen.GenerateTask(&rng);
+  EXPECT_EQ(t.support_points.size(), 15u);  // k_s + delta.
+  EXPECT_EQ(t.support_labels.size(), 15u);
+  EXPECT_EQ(t.query_points.size(), 35u);  // k_q + delta.
+  EXPECT_EQ(t.query_labels.size(), 35u);
+  EXPECT_EQ(t.uis_feature.size(), 40u);  // k_u bits.
+  EXPECT_FALSE(t.uis.empty());
+  EXPECT_LE(static_cast<int64_t>(t.uis.parts().size()), 3);
+}
+
+TEST(MetaTaskGeneratorTest, LabelsConsistentWithUis) {
+  Rng rng(3);
+  MetaTaskGenerator gen(SmallOptions());
+  ASSERT_TRUE(gen.Init(UniformPoints(&rng), &rng).ok());
+  const MetaTask t = gen.GenerateTask(&rng);
+  for (size_t i = 0; i < t.support_points.size(); ++i) {
+    EXPECT_EQ(t.support_labels[i],
+              t.uis.Contains(t.support_points[i]) ? 1.0 : 0.0);
+  }
+  for (size_t i = 0; i < t.query_points.size(); ++i) {
+    EXPECT_EQ(t.query_labels[i],
+              t.uis.Contains(t.query_points[i]) ? 1.0 : 0.0);
+  }
+}
+
+TEST(MetaTaskGeneratorTest, UisFeatureBitsAreBinary) {
+  Rng rng(4);
+  MetaTaskGenerator gen(SmallOptions());
+  ASSERT_TRUE(gen.Init(UniformPoints(&rng), &rng).ok());
+  const MetaTask t = gen.GenerateTask(&rng);
+  for (double b : t.uis_feature) {
+    EXPECT_TRUE(b == 0.0 || b == 1.0);
+  }
+}
+
+TEST(MetaTaskGeneratorTest, TasksVary) {
+  Rng rng(5);
+  MetaTaskGenerator gen(SmallOptions());
+  ASSERT_TRUE(gen.Init(UniformPoints(&rng), &rng).ok());
+  const std::vector<MetaTask> tasks = gen.GenerateTaskSet(10, &rng);
+  // Not all tasks should share an identical feature vector.
+  int distinct = 0;
+  for (size_t i = 1; i < tasks.size(); ++i) {
+    if (tasks[i].uis_feature != tasks[0].uis_feature) ++distinct;
+  }
+  EXPECT_GT(distinct, 0);
+}
+
+TEST(MetaTaskGeneratorTest, GenerateUisRespectsAlpha) {
+  Rng rng(6);
+  MetaTaskGenerator gen(SmallOptions());
+  ASSERT_TRUE(gen.Init(UniformPoints(&rng), &rng).ok());
+  const geom::Region r1 = gen.GenerateUis(1, 8, &rng);
+  EXPECT_EQ(r1.parts().size(), 1u);
+  const geom::Region r5 = gen.GenerateUis(5, 8, &rng);
+  EXPECT_LE(r5.parts().size(), 5u);
+  EXPECT_GE(r5.parts().size(), 1u);
+}
+
+TEST(MetaTaskGeneratorTest, ExpansionDefaultsToTenthOfKu) {
+  MetaTaskGenOptions opt = SmallOptions();
+  opt.expansion_l = -1;
+  MetaTaskGenerator gen(opt);
+  EXPECT_EQ(gen.expansion_l(), 4);  // 40 / 10.
+  opt.expansion_l = 7;
+  MetaTaskGenerator gen2(opt);
+  EXPECT_EQ(gen2.expansion_l(), 7);
+}
+
+TEST(MetaTaskGeneratorTest, InitFailsOnTinySubspace) {
+  Rng rng(7);
+  MetaTaskGenerator gen(SmallOptions());
+  EXPECT_FALSE(gen.Init(UniformPoints(&rng, 20), &rng).ok());
+  EXPECT_FALSE(gen.Init({}, &rng).ok());
+}
+
+TEST(MetaTaskGeneratorTest, OneDimensionalSubspace) {
+  Rng rng(8);
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 2000; ++i) pts.push_back({rng.Uniform()});
+  MetaTaskGenerator gen(SmallOptions());
+  ASSERT_TRUE(gen.Init(pts, &rng).ok());
+  const MetaTask t = gen.GenerateTask(&rng);
+  EXPECT_FALSE(t.uis.empty());
+  EXPECT_EQ(t.support_points.front().size(), 1u);
+}
+
+}  // namespace
+}  // namespace lte::core

@@ -1,0 +1,60 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::eval {
+namespace {
+
+TEST(MetricsTest, ConfusionCounting) {
+  ConfusionCounts c;
+  c.Add(1, 1);  // TP
+  c.Add(0, 1);  // FP
+  c.Add(0, 0);  // TN
+  c.Add(1, 0);  // FN
+  EXPECT_EQ(c.true_positive, 1);
+  EXPECT_EQ(c.false_positive, 1);
+  EXPECT_EQ(c.true_negative, 1);
+  EXPECT_EQ(c.false_negative, 1);
+}
+
+TEST(MetricsTest, PerfectPrediction) {
+  const ConfusionCounts c = Evaluate({1, 0, 1, 0}, {1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(Precision(c), 1.0);
+  EXPECT_DOUBLE_EQ(Recall(c), 1.0);
+  EXPECT_DOUBLE_EQ(F1Score(c), 1.0);
+}
+
+TEST(MetricsTest, KnownValues) {
+  // 2 TP, 1 FP, 1 FN: P = 2/3, R = 2/3, F1 = 2/3.
+  const ConfusionCounts c = Evaluate({1, 1, 1, 0}, {1, 1, 0, 1});
+  EXPECT_DOUBLE_EQ(Precision(c), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Recall(c), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(F1Score(c), 2.0 / 3.0);
+}
+
+TEST(MetricsTest, DegenerateCasesReturnZero) {
+  // No predicted positives.
+  const ConfusionCounts c1 = Evaluate({1, 1}, {0, 0});
+  EXPECT_DOUBLE_EQ(Precision(c1), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score(c1), 0.0);
+  // No actual positives.
+  const ConfusionCounts c2 = Evaluate({0, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(Recall(c2), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score(c2), 0.0);
+}
+
+TEST(MetricsTest, ThresholdAtHalf) {
+  const ConfusionCounts c = Evaluate({1.0, 0.0}, {0.6, 0.4});
+  EXPECT_EQ(c.true_positive, 1);
+  EXPECT_EQ(c.true_negative, 1);
+}
+
+TEST(MetricsTest, ThreeSetMetric) {
+  EXPECT_DOUBLE_EQ(ThreeSetMetric(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ThreeSetMetric(10, 10), 0.5);
+  EXPECT_DOUBLE_EQ(ThreeSetMetric(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(ThreeSetMetric(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace lte::eval

@@ -1,0 +1,117 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/loss.h"
+
+namespace lte::nn {
+namespace {
+
+TEST(MlpTest, ShapesAndParameterCount) {
+  Rng rng(1);
+  Mlp mlp({4, 8, 2}, &rng);
+  EXPECT_EQ(mlp.num_layers(), 2);
+  EXPECT_EQ(mlp.in_features(), 4);
+  EXPECT_EQ(mlp.out_features(), 2);
+  EXPECT_EQ(mlp.ParameterCount(), (4 * 8 + 8) + (8 * 2 + 2));
+  EXPECT_EQ(mlp.Forward({1, 2, 3, 4}).size(), 2u);
+}
+
+TEST(MlpTest, ParameterRoundTrip) {
+  Rng rng(2);
+  Mlp mlp({3, 5, 1}, &rng);
+  const std::vector<double> params = mlp.GetParameters();
+  EXPECT_EQ(static_cast<int64_t>(params.size()), mlp.ParameterCount());
+  const std::vector<double> y1 = mlp.Forward({0.1, 0.2, 0.3});
+  mlp.SetParameters(params);
+  const std::vector<double> y2 = mlp.Forward({0.1, 0.2, 0.3});
+  EXPECT_EQ(y1, y2);
+}
+
+TEST(MlpTest, CopySemanticsAreDeep) {
+  Rng rng(3);
+  Mlp a({2, 4, 1}, &rng);
+  Mlp b = a;
+  std::vector<double> params = b.GetParameters();
+  for (double& p : params) p += 1.0;
+  b.SetParameters(params);
+  EXPECT_NE(a.Forward({1.0, 1.0})[0], b.Forward({1.0, 1.0})[0]);
+}
+
+// Full-network gradient check: loss = BCE(logit, 1) on a 2-hidden-layer MLP.
+TEST(MlpTest, GradientsMatchFiniteDifference) {
+  Rng rng(4);
+  Mlp mlp({3, 6, 4, 1}, &rng);
+  const std::vector<double> x = {0.5, -0.3, 0.8};
+  const double label = 1.0;
+
+  auto loss_at = [&](const std::vector<double>& params) {
+    mlp.SetParameters(params);
+    return BceWithLogits(mlp.Forward(x)[0], label);
+  };
+
+  const std::vector<double> params = mlp.GetParameters();
+  Mlp::Cache cache;
+  const double logit = mlp.Forward(x, &cache)[0];
+  mlp.ZeroGrad();
+  mlp.Backward(cache, {BceWithLogitsGrad(logit, label)});
+  const std::vector<double> analytic = mlp.GetGradients();
+
+  const double eps = 1e-6;
+  for (size_t i = 0; i < params.size(); i += 7) {  // Spot-check every 7th.
+    std::vector<double> p = params;
+    p[i] += eps;
+    const double up = loss_at(p);
+    p[i] -= 2 * eps;
+    const double down = loss_at(p);
+    EXPECT_NEAR(analytic[i], (up - down) / (2 * eps), 1e-5) << "param " << i;
+  }
+  mlp.SetParameters(params);
+}
+
+TEST(MlpTest, BackwardReturnsInputGradient) {
+  Rng rng(5);
+  Mlp mlp({2, 3, 1}, &rng);
+  const std::vector<double> x = {0.4, -0.6};
+  Mlp::Cache cache;
+  mlp.Forward(x, &cache);
+  mlp.ZeroGrad();
+  const std::vector<double> gin = mlp.Backward(cache, {1.0});
+  ASSERT_EQ(gin.size(), 2u);
+
+  // Finite-difference check of the input gradient.
+  const double eps = 1e-6;
+  for (size_t i = 0; i < 2; ++i) {
+    std::vector<double> xp = x;
+    xp[i] += eps;
+    const double up = mlp.Forward(xp)[0];
+    xp[i] -= 2 * eps;
+    const double down = mlp.Forward(xp)[0];
+    EXPECT_NEAR(gin[i], (up - down) / (2 * eps), 1e-5);
+  }
+}
+
+TEST(MlpTest, TrainsToFitXor) {
+  Rng rng(6);
+  Mlp mlp({2, 16, 1}, &rng);
+  const std::vector<std::vector<double>> xs = {
+      {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const std::vector<double> ys = {0, 1, 1, 0};
+  for (int epoch = 0; epoch < 3000; ++epoch) {
+    mlp.ZeroGrad();
+    for (size_t i = 0; i < xs.size(); ++i) {
+      Mlp::Cache cache;
+      const double logit = mlp.Forward(xs[i], &cache)[0];
+      mlp.Backward(cache, {BceWithLogitsGrad(logit, ys[i]) / 4.0});
+    }
+    mlp.ApplyGradients(0.5);
+  }
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double p = Sigmoid(mlp.Forward(xs[i])[0]);
+    EXPECT_NEAR(p, ys[i], 0.2) << "sample " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lte::nn

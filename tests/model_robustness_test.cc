@@ -1,0 +1,112 @@
+// Robustness of model loading against damaged files: every truncation of a
+// valid model must produce a clean Status error, never a crash or a
+// half-initialized Explorer.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/lte.h"
+#include "data/synthetic.h"
+
+namespace lte {
+namespace {
+
+class ModelRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(5);
+    data::Table table = data::MakeBlobs(2500, 2, 3, &rng);
+    core::ExplorerOptions opt;
+    opt.task_gen.k_u = 20;
+    opt.task_gen.k_s = 8;
+    opt.task_gen.k_q = 20;
+    opt.learner.embedding_size = 8;
+    opt.learner.clf_hidden = {8};
+    opt.learner.num_memory_modes = 2;
+    opt.num_meta_tasks = 10;
+    opt.trainer.epochs = 1;
+    opt.trainer.local_steps = 1;
+    core::Explorer explorer(opt);
+    ASSERT_TRUE(explorer
+                    .Pretrain(table, {data::Subspace{{0, 1}}},
+                              /*train_meta=*/true, &rng)
+                    .ok());
+    path_ = testing::TempDir() + "/robustness.ltemodel";
+    ASSERT_TRUE(explorer.Save(path_).ok());
+
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes_ = buf.str();
+    ASSERT_GT(bytes_.size(), 64u);
+  }
+
+  void WriteTruncated(size_t n) {
+    std::ofstream out(truncated_path(), std::ios::binary);
+    out.write(bytes_.data(), static_cast<std::streamsize>(n));
+  }
+
+  std::string truncated_path() const {
+    return testing::TempDir() + "/truncated.ltemodel";
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(ModelRobustnessTest, FullFileLoads) {
+  core::Explorer ex(core::ExplorerOptions{});
+  EXPECT_TRUE(ex.LoadModel(path_).ok());
+}
+
+TEST_F(ModelRobustnessTest, EveryTruncationFailsCleanly) {
+  // Sweep truncation points across the file (every ~5% plus the first few
+  // bytes, where the header parses).
+  std::vector<size_t> cuts = {0, 1, 7, 8, 15, 16, 17};
+  for (int i = 1; i < 20; ++i) {
+    cuts.push_back(bytes_.size() * static_cast<size_t>(i) / 20);
+  }
+  for (size_t cut : cuts) {
+    if (cut >= bytes_.size()) continue;
+    WriteTruncated(cut);
+    core::Explorer ex(core::ExplorerOptions{});
+    const Status s = ex.LoadModel(truncated_path());
+    EXPECT_FALSE(s.ok()) << "truncation at byte " << cut
+                         << " unexpectedly loaded";
+  }
+}
+
+TEST_F(ModelRobustnessTest, CorruptedMagicRejected) {
+  std::string corrupted = bytes_;
+  corrupted[0] = static_cast<char>(corrupted[0] ^ 0xFF);
+  std::ofstream out(truncated_path(), std::ios::binary);
+  out.write(corrupted.data(), static_cast<std::streamsize>(corrupted.size()));
+  out.close();
+  core::Explorer ex(core::ExplorerOptions{});
+  const Status s = ex.LoadModel(truncated_path());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ModelRobustnessTest, FailedLoadLeavesExplorerUnusable) {
+  WriteTruncated(bytes_.size() / 2);
+  core::Explorer ex(core::ExplorerOptions{});
+  ASSERT_FALSE(ex.LoadModel(truncated_path()).ok());
+  // The failed load must not report a pretrained explorer.
+  EXPECT_EQ(ex.StartExploration({{1.0}}, core::Variant::kBasic, nullptr).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ModelRobustnessTest, FailedLoadPreservesPreviousModel) {
+  core::Explorer ex(core::ExplorerOptions{});
+  ASSERT_TRUE(ex.LoadModel(path_).ok());
+  const auto initial = ex.InitialTuples(0);
+  WriteTruncated(bytes_.size() / 3);
+  ASSERT_FALSE(ex.LoadModel(truncated_path()).ok());
+  // A failed re-load must not clobber the previously loaded model.
+  EXPECT_EQ(ex.InitialTuples(0), initial);
+}
+
+}  // namespace
+}  // namespace lte

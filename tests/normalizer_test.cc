@@ -1,0 +1,62 @@
+#include "preprocess/normalizer.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::preprocess {
+namespace {
+
+data::Table MakeTable() {
+  data::Table t({"a", "b"});
+  EXPECT_TRUE(t.AppendRow({0.0, 100.0}).ok());
+  EXPECT_TRUE(t.AppendRow({10.0, 200.0}).ok());
+  EXPECT_TRUE(t.AppendRow({5.0, 150.0}).ok());
+  return t;
+}
+
+TEST(NormalizerTest, MapsToUnitInterval) {
+  MinMaxNormalizer n;
+  ASSERT_TRUE(n.Fit(MakeTable()).ok());
+  EXPECT_DOUBLE_EQ(n.Transform(0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(n.Transform(0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(n.Transform(0, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(n.Transform(1, 150.0), 0.5);
+}
+
+TEST(NormalizerTest, ClampsOutOfRange) {
+  MinMaxNormalizer n;
+  ASSERT_TRUE(n.Fit(MakeTable()).ok());
+  EXPECT_DOUBLE_EQ(n.Transform(0, -5.0), 0.0);
+  EXPECT_DOUBLE_EQ(n.Transform(0, 100.0), 1.0);
+}
+
+TEST(NormalizerTest, InverseRoundTrips) {
+  MinMaxNormalizer n;
+  ASSERT_TRUE(n.Fit(MakeTable()).ok());
+  EXPECT_DOUBLE_EQ(n.Inverse(0, n.Transform(0, 7.0)), 7.0);
+  EXPECT_DOUBLE_EQ(n.Inverse(1, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(n.Inverse(1, 1.0), 200.0);
+}
+
+TEST(NormalizerTest, ConstantColumnMapsToHalf) {
+  data::Table t({"c"});
+  ASSERT_TRUE(t.AppendRow({3.0}).ok());
+  ASSERT_TRUE(t.AppendRow({3.0}).ok());
+  MinMaxNormalizer n;
+  ASSERT_TRUE(n.Fit(t).ok());
+  EXPECT_DOUBLE_EQ(n.Transform(0, 3.0), 0.5);
+}
+
+TEST(NormalizerTest, EmptyTableFails) {
+  data::Table t({"a"});
+  MinMaxNormalizer n;
+  EXPECT_FALSE(n.Fit(t).ok());
+}
+
+TEST(NormalizerTest, TransformRow) {
+  MinMaxNormalizer n;
+  ASSERT_TRUE(n.Fit(MakeTable()).ok());
+  EXPECT_EQ(n.TransformRow({10.0, 100.0}), (std::vector<double>{1.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace lte::preprocess

@@ -1,0 +1,107 @@
+#include "core/optimizer_fpfn.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/meta_task.h"
+
+namespace lte::core {
+namespace {
+
+class FpFnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(5);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 3000; ++i) {
+      points.push_back({rng.Uniform(), rng.Uniform()});
+    }
+    MetaTaskGenOptions opt;
+    opt.k_u = 40;
+    opt.k_s = 10;
+    opt.k_q = 20;
+    generator_ = std::make_unique<MetaTaskGenerator>(opt);
+    ASSERT_TRUE(generator_->Init(points, &rng).ok());
+  }
+
+  std::unique_ptr<MetaTaskGenerator> generator_;
+};
+
+TEST_F(FpFnTest, InnerIsSubsetOfOuter) {
+  const SubspaceContext& ctx = generator_->context();
+  std::vector<double> labels(10, 0.0);
+  labels[3] = 1.0;
+  labels[7] = 1.0;
+  FpFnOptimizer opt(ctx, labels, FpFnOptions{});
+  ASSERT_TRUE(opt.has_positive_centers());
+  // Sample the unit square; every inner point must be an outer point.
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> p = {rng.Uniform(), rng.Uniform()};
+    if (opt.inner_subregion().Contains(p)) {
+      EXPECT_TRUE(opt.outer_subregion().Contains(p));
+    }
+  }
+}
+
+TEST_F(FpFnTest, RefineKillsFarPositives) {
+  const SubspaceContext& ctx = generator_->context();
+  std::vector<double> labels(10, 0.0);
+  labels[0] = 1.0;
+  FpFnOptimizer opt(ctx, labels, FpFnOptions{});
+  // A point far outside the data range cannot be in the outer subregion.
+  EXPECT_DOUBLE_EQ(opt.Refine({100.0, 100.0}, 1.0), 0.0);
+}
+
+TEST_F(FpFnTest, RefineFillsInnerHoles) {
+  const SubspaceContext& ctx = generator_->context();
+  std::vector<double> labels(10, 0.0);
+  labels[4] = 1.0;
+  FpFnOptimizer opt(ctx, labels, FpFnOptions{});
+  // The positive center itself lies inside the inner subregion.
+  const std::vector<double>& center = ctx.centers_s[4];
+  EXPECT_DOUBLE_EQ(opt.Refine(center, 0.0), 1.0);
+}
+
+TEST_F(FpFnTest, RefineKeepsConsistentPredictions) {
+  const SubspaceContext& ctx = generator_->context();
+  std::vector<double> labels(10, 0.0);
+  labels[2] = 1.0;
+  FpFnOptimizer opt(ctx, labels, FpFnOptions{});
+  // Positive prediction inside the outer region is kept.
+  const std::vector<double>& center = ctx.centers_s[2];
+  EXPECT_DOUBLE_EQ(opt.Refine(center, 1.0), 1.0);
+}
+
+TEST_F(FpFnTest, NoPositivesLeavesPredictionsUntouched) {
+  const SubspaceContext& ctx = generator_->context();
+  const std::vector<double> labels(10, 0.0);
+  FpFnOptimizer opt(ctx, labels, FpFnOptions{});
+  EXPECT_FALSE(opt.has_positive_centers());
+  EXPECT_DOUBLE_EQ(opt.Refine({0.5, 0.5}, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(opt.Refine({0.5, 0.5}, 0.0), 0.0);
+}
+
+TEST_F(FpFnTest, LargerOuterFractionGrowsOuterRegion) {
+  const SubspaceContext& ctx = generator_->context();
+  std::vector<double> labels(10, 0.0);
+  labels[5] = 1.0;
+  FpFnOptions small_opt;
+  small_opt.outer_fraction = 0.10;
+  FpFnOptions big_opt;
+  big_opt.outer_fraction = 0.60;
+  FpFnOptimizer small(ctx, labels, small_opt);
+  FpFnOptimizer big(ctx, labels, big_opt);
+  Rng rng(7);
+  int small_hits = 0;
+  int big_hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::vector<double> p = {rng.Uniform(), rng.Uniform()};
+    if (small.outer_subregion().Contains(p)) ++small_hits;
+    if (big.outer_subregion().Contains(p)) ++big_hits;
+  }
+  EXPECT_GE(big_hits, small_hits);
+}
+
+}  // namespace
+}  // namespace lte::core

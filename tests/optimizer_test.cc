@@ -1,0 +1,76 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lte::nn {
+namespace {
+
+TEST(SgdTest, PlainStep) {
+  SgdOptimizer opt(0.1);
+  std::vector<double> params = {1.0, -2.0};
+  opt.Step({10.0, -10.0}, &params);
+  EXPECT_DOUBLE_EQ(params[0], 0.0);
+  EXPECT_DOUBLE_EQ(params[1], -1.0);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  SgdOptimizer opt(0.1, 0.9);
+  std::vector<double> params = {0.0};
+  opt.Step({1.0}, &params);  // v = 1, p = -0.1
+  EXPECT_DOUBLE_EQ(params[0], -0.1);
+  opt.Step({1.0}, &params);  // v = 1.9, p = -0.1 - 0.19
+  EXPECT_NEAR(params[0], -0.29, 1e-12);
+}
+
+TEST(SgdTest, MinimizesQuadratic) {
+  // f(x) = (x - 3)^2, grad = 2(x - 3).
+  SgdOptimizer opt(0.1);
+  std::vector<double> x = {10.0};
+  for (int i = 0; i < 200; ++i) opt.Step({2.0 * (x[0] - 3.0)}, &x);
+  EXPECT_NEAR(x[0], 3.0, 1e-6);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  AdamOptimizer opt(0.1);
+  std::vector<double> x = {10.0};
+  for (int i = 0; i < 500; ++i) opt.Step({2.0 * (x[0] - 3.0)}, &x);
+  EXPECT_NEAR(x[0], 3.0, 1e-3);
+}
+
+TEST(AdamTest, FirstStepIsApproximatelyLearningRate) {
+  // With bias correction the first Adam step has magnitude ~lr regardless of
+  // gradient scale.
+  AdamOptimizer opt(0.01);
+  std::vector<double> a = {0.0};
+  opt.Step({1e-4}, &a);
+  EXPECT_NEAR(std::abs(a[0]), 0.01, 1e-3);
+
+  AdamOptimizer opt2(0.01);
+  std::vector<double> b = {0.0};
+  opt2.Step({1e4}, &b);
+  EXPECT_NEAR(std::abs(b[0]), 0.01, 1e-3);
+}
+
+TEST(AdamTest, HandlesMultipleParameters) {
+  AdamOptimizer opt(0.05);
+  std::vector<double> x = {5.0, -5.0};
+  for (int i = 0; i < 1000; ++i) {
+    opt.Step({2.0 * x[0], 2.0 * (x[1] + 1.0)}, &x);
+  }
+  EXPECT_NEAR(x[0], 0.0, 1e-2);
+  EXPECT_NEAR(x[1], -1.0, 1e-2);
+}
+
+TEST(SgdTest, LearningRateMutable) {
+  SgdOptimizer opt(0.1);
+  opt.set_learning_rate(0.5);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.5);
+  std::vector<double> p = {1.0};
+  opt.Step({1.0}, &p);
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+}
+
+}  // namespace
+}  // namespace lte::nn

@@ -1,0 +1,50 @@
+#include "eval/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/region.h"
+
+namespace lte::eval {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = data::Table({"x", "y"});
+    ASSERT_TRUE(table_.AppendRow({0.5, 0.5}).ok());   // Inside.
+    ASSERT_TRUE(table_.AppendRow({5.0, 5.0}).ok());   // Outside.
+    uir_.subspaces = {data::Subspace{{0, 1}}};
+    geom::Region region;
+    region.AddPart(
+        geom::ConvexRegion::HullOf({{0, 0}, {1, 0}, {1, 1}, {0, 1}}));
+    uir_.regions.push_back(region);
+  }
+
+  data::Table table_;
+  GroundTruthUir uir_;
+};
+
+TEST_F(OracleTest, LabelsRowsAgainstUir) {
+  Oracle oracle(&uir_, &table_);
+  EXPECT_DOUBLE_EQ(oracle.LabelRow(0), 1.0);
+  EXPECT_DOUBLE_EQ(oracle.LabelRow(1), 0.0);
+}
+
+TEST_F(OracleTest, LabelsSubspacePoints) {
+  Oracle oracle(&uir_, &table_);
+  EXPECT_DOUBLE_EQ(oracle.LabelSubspacePoint(0, {0.2, 0.2}), 1.0);
+  EXPECT_DOUBLE_EQ(oracle.LabelSubspacePoint(0, {2.0, 2.0}), 0.0);
+}
+
+TEST_F(OracleTest, CountsLabels) {
+  Oracle oracle(&uir_, &table_);
+  EXPECT_EQ(oracle.labels_used(), 0);
+  oracle.LabelRow(0);
+  oracle.LabelSubspacePoint(0, {0.1, 0.1});
+  EXPECT_EQ(oracle.labels_used(), 2);
+  oracle.ResetCount();
+  EXPECT_EQ(oracle.labels_used(), 0);
+}
+
+}  // namespace
+}  // namespace lte::eval

@@ -1,0 +1,74 @@
+#include "baselines/polytope.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::baselines {
+namespace {
+
+TEST(PolytopeTest, PositiveRegionIsHullOfPositives) {
+  PolytopeModel m;
+  m.Update({0, 0}, 1.0);
+  m.Update({2, 0}, 1.0);
+  m.Update({1, 2}, 1.0);
+  EXPECT_EQ(m.Classify({1.0, 0.5}), ThreeSet::kPositive);
+  EXPECT_EQ(m.Classify({0.0, 0.0}), ThreeSet::kPositive);  // Vertex.
+  EXPECT_EQ(m.Classify({5.0, 5.0}), ThreeSet::kUncertain);
+}
+
+TEST(PolytopeTest, NegativeConeBlocksPointsBeyondNegative) {
+  PolytopeModel m;
+  m.Update({0, 0}, 1.0);
+  m.Update({1, 0}, 1.0);
+  m.Update({0, 1}, 1.0);
+  // Negative example to the right of the hull.
+  m.Update({2, 0}, 0.0);
+  // Any point whose hull with the positives would contain (2,0) is provably
+  // negative under convexity, e.g. a far point on the same ray.
+  EXPECT_EQ(m.Classify({4.0, 0.0}), ThreeSet::kNegative);
+  // A point elsewhere remains uncertain.
+  EXPECT_EQ(m.Classify({0.0, 3.0}), ThreeSet::kUncertain);
+}
+
+TEST(PolytopeTest, NoLabelsEverythingUncertain) {
+  PolytopeModel m;
+  EXPECT_EQ(m.Classify({0, 0}), ThreeSet::kUncertain);
+}
+
+TEST(PolytopeTest, OnlyNegativesCatchExactDuplicates) {
+  PolytopeModel m;
+  m.Update({1, 1}, 0.0);
+  EXPECT_EQ(m.Classify({1, 1}), ThreeSet::kNegative);
+  EXPECT_EQ(m.Classify({2, 2}), ThreeSet::kUncertain);
+}
+
+TEST(PolytopeTest, OneDimensionalSubspace) {
+  PolytopeModel m;
+  m.Update({1.0}, 1.0);
+  m.Update({3.0}, 1.0);
+  m.Update({5.0}, 0.0);
+  EXPECT_EQ(m.Classify({2.0}), ThreeSet::kPositive);
+  EXPECT_EQ(m.Classify({6.0}), ThreeSet::kNegative);  // Beyond the negative.
+  EXPECT_EQ(m.Classify({4.0}), ThreeSet::kUncertain);
+  EXPECT_EQ(m.Classify({0.0}), ThreeSet::kUncertain);
+}
+
+TEST(PolytopeTest, CountsTracked) {
+  PolytopeModel m;
+  m.Update({0, 0}, 1.0);
+  m.Update({1, 1}, 0.0);
+  m.Update({2, 2}, 0.0);
+  EXPECT_EQ(m.num_positive(), 1);
+  EXPECT_EQ(m.num_negative(), 2);
+}
+
+TEST(PolytopeTest, PositiveRegionGrowsMonotonically) {
+  PolytopeModel m;
+  m.Update({0, 0}, 1.0);
+  m.Update({1, 0}, 1.0);
+  EXPECT_EQ(m.Classify({0.5, 0.5}), ThreeSet::kUncertain);
+  m.Update({0.5, 1.0}, 1.0);
+  EXPECT_EQ(m.Classify({0.5, 0.5}), ThreeSet::kPositive);
+}
+
+}  // namespace
+}  // namespace lte::baselines

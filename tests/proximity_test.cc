@@ -1,0 +1,53 @@
+#include "cluster/proximity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lte::cluster {
+namespace {
+
+TEST(ProximityTest, DistancesAreEuclidean) {
+  const std::vector<std::vector<double>> rows = {{0, 0}, {1, 1}};
+  const std::vector<std::vector<double>> cols = {{3, 4}, {0, 0}};
+  const ProximityMatrix p(rows, cols);
+  EXPECT_EQ(p.num_rows(), 2);
+  EXPECT_EQ(p.num_cols(), 2);
+  EXPECT_DOUBLE_EQ(p.Distance(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(p.Distance(0, 1), 0.0);
+  EXPECT_NEAR(p.Distance(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(ProximityTest, SelfMatrixDiagonalIsZero) {
+  const std::vector<std::vector<double>> c = {{0, 0}, {1, 0}, {5, 5}};
+  const ProximityMatrix p(c, c);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(p.Distance(i, i), 0.0);
+  }
+}
+
+TEST(ProximityTest, NearestColsOrderedByDistance) {
+  const std::vector<std::vector<double>> rows = {{0.0, 0.0}};
+  const std::vector<std::vector<double>> cols = {
+      {3, 0}, {1, 0}, {2, 0}, {10, 0}};
+  const ProximityMatrix p(rows, cols);
+  EXPECT_EQ(p.NearestCols(0, 3), (std::vector<int64_t>{1, 2, 0}));
+}
+
+TEST(ProximityTest, NearestColsIncludesSelfForSelfMatrix) {
+  const std::vector<std::vector<double>> c = {{0, 0}, {1, 0}, {2, 0}};
+  const ProximityMatrix p(c, c);
+  const std::vector<int64_t> nn = p.NearestCols(1, 2);
+  EXPECT_EQ(nn[0], 1);  // Itself at distance zero.
+}
+
+TEST(ProximityTest, NearestColsClampsK) {
+  const std::vector<std::vector<double>> rows = {{0.0}};
+  const std::vector<std::vector<double>> cols = {{1.0}, {2.0}};
+  const ProximityMatrix p(rows, cols);
+  EXPECT_EQ(p.NearestCols(0, 10).size(), 2u);
+  EXPECT_TRUE(p.NearestCols(0, 0).empty());
+}
+
+}  // namespace
+}  // namespace lte::cluster

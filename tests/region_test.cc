@@ -1,0 +1,73 @@
+#include "geom/region.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::geom {
+namespace {
+
+TEST(ConvexRegionTest, TwoDimensionalHull) {
+  const ConvexRegion r = ConvexRegion::HullOf({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_EQ(r.dimension(), 2);
+  EXPECT_TRUE(r.Contains({1, 1}));
+  EXPECT_TRUE(r.Contains({0, 0}));
+  EXPECT_FALSE(r.Contains({3, 1}));
+}
+
+TEST(ConvexRegionTest, OneDimensionalInterval) {
+  const ConvexRegion r = ConvexRegion::HullOf({{3.0}, {1.0}, {2.0}});
+  EXPECT_EQ(r.dimension(), 1);
+  EXPECT_DOUBLE_EQ(r.lo(), 1.0);
+  EXPECT_DOUBLE_EQ(r.hi(), 3.0);
+  EXPECT_TRUE(r.Contains({2.5}));
+  EXPECT_TRUE(r.Contains({1.0}));
+  EXPECT_FALSE(r.Contains({0.5}));
+  EXPECT_FALSE(r.Contains({3.5}));
+}
+
+TEST(ConvexRegionTest, EmptyRegion) {
+  const ConvexRegion r = ConvexRegion::HullOf({});
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(r.Contains({0.0}));
+}
+
+TEST(ConvexRegionTest, DegenerateSinglePoint2D) {
+  const ConvexRegion r = ConvexRegion::HullOf({{1, 1}});
+  EXPECT_TRUE(r.Contains({1, 1}));
+  EXPECT_FALSE(r.Contains({2, 2}));
+}
+
+TEST(RegionTest, UnionOfDisjointParts) {
+  Region region;
+  region.AddPart(ConvexRegion::HullOf({{0, 0}, {1, 0}, {1, 1}, {0, 1}}));
+  region.AddPart(ConvexRegion::HullOf({{5, 5}, {6, 5}, {6, 6}, {5, 6}}));
+  EXPECT_EQ(region.parts().size(), 2u);
+  EXPECT_TRUE(region.Contains({0.5, 0.5}));
+  EXPECT_TRUE(region.Contains({5.5, 5.5}));
+  EXPECT_FALSE(region.Contains({3.0, 3.0}));  // Between the parts.
+}
+
+TEST(RegionTest, ConcaveShapeFromConvexParts) {
+  // An L-shape: two rectangles sharing a corner region.
+  Region region;
+  region.AddPart(ConvexRegion::HullOf({{0, 0}, {3, 0}, {3, 1}, {0, 1}}));
+  region.AddPart(ConvexRegion::HullOf({{0, 0}, {1, 0}, {1, 3}, {0, 3}}));
+  EXPECT_TRUE(region.Contains({2.5, 0.5}));
+  EXPECT_TRUE(region.Contains({0.5, 2.5}));
+  // The concave notch is outside even though its bounding box is covered.
+  EXPECT_FALSE(region.Contains({2.5, 2.5}));
+}
+
+TEST(RegionTest, EmptyRegion) {
+  Region region;
+  EXPECT_TRUE(region.empty());
+  EXPECT_FALSE(region.Contains({0, 0}));
+}
+
+TEST(RegionTest, EmptyPartsAreDropped) {
+  Region region;
+  region.AddPart(ConvexRegion::HullOf({}));
+  EXPECT_TRUE(region.empty());
+}
+
+}  // namespace
+}  // namespace lte::geom

@@ -1,0 +1,58 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::eval {
+namespace {
+
+TEST(ReportTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.12345, 3), "0.123");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+  EXPECT_EQ(FormatDouble(-1.5, 2), "-1.50");
+}
+
+TEST(ReportTest, RendersHeaderAndRows) {
+  TextTable t({"method", "f1"});
+  t.AddRow({"DSM", "0.50"});
+  t.AddRow("Meta*", {0.875}, 3);
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("DSM"), std::string::npos);
+  EXPECT_NE(out.find("0.875"), std::string::npos);
+  EXPECT_NE(out.find("Meta*"), std::string::npos);
+}
+
+TEST(ReportTest, ColumnsAligned) {
+  TextTable t({"a", "b"});
+  t.AddRow({"short", "x"});
+  t.AddRow({"a-much-longer-cell", "y"});
+  const std::string out = t.ToString();
+  // Every line must have the same length (aligned columns).
+  size_t line_len = std::string::npos;
+  size_t start = 0;
+  while (start < out.size()) {
+    const size_t end = out.find('\n', start);
+    const size_t len = end - start;
+    if (line_len == std::string::npos) {
+      line_len = len;
+    } else {
+      EXPECT_EQ(len, line_len);
+    }
+    start = end + 1;
+  }
+}
+
+TEST(ReportTest, ShortRowPadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  EXPECT_NE(t.ToString().find("only-one"), std::string::npos);
+}
+
+TEST(ReportTest, ExtraCellsTruncated) {
+  TextTable t({"a"});
+  t.AddRow({"x", "overflow"});
+  EXPECT_EQ(t.ToString().find("overflow"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lte::eval

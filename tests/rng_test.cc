@@ -1,0 +1,113 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace lte {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(1000), b.UniformInt(1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.UniformInt(1000000) != b.UniformInt(1000000)) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+  }
+}
+
+TEST(RngTest, UniformRealInRange) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, NormalHasApproximateMoments) {
+  Rng rng(5);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(6);
+  int heads = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) heads += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.03);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndSorted) {
+  Rng rng(8);
+  const std::vector<int64_t> s = rng.SampleWithoutReplacement(100, 30);
+  ASSERT_EQ(s.size(), 30u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  const std::set<int64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (int64_t v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(9);
+  const std::vector<int64_t> s = rng.SampleWithoutReplacement(5, 5);
+  EXPECT_EQ(s, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, SampleWithoutReplacementEmpty) {
+  Rng rng(10);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(5, 0).empty());
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.Fork();
+  // The fork consumed parent state; both streams should still be valid and
+  // (with overwhelming probability) different.
+  EXPECT_NE(parent.UniformInt(1000000), child.UniformInt(1000000));
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(12);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace lte

@@ -1,0 +1,95 @@
+#include "data/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.h"
+
+namespace lte::data {
+namespace {
+
+Table SmallTable(int64_t n) {
+  Table t({"x"});
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(t.AppendRow({static_cast<double>(i)}).ok());
+  }
+  return t;
+}
+
+TEST(SamplingTest, SampleRowIndicesDistinctInRange) {
+  const Table t = SmallTable(50);
+  Rng rng(1);
+  const std::vector<int64_t> idx = SampleRowIndices(t, 20, &rng);
+  ASSERT_EQ(idx.size(), 20u);
+  std::set<int64_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (int64_t i : idx) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 50);
+  }
+}
+
+TEST(SamplingTest, SampleClampsToTableSize) {
+  const Table t = SmallTable(5);
+  Rng rng(2);
+  EXPECT_EQ(SampleRowIndices(t, 100, &rng).size(), 5u);
+}
+
+TEST(SamplingTest, SampleZeroOrNegativeEmpty) {
+  const Table t = SmallTable(5);
+  Rng rng(3);
+  EXPECT_TRUE(SampleRowIndices(t, 0, &rng).empty());
+  EXPECT_TRUE(SampleRowIndices(t, -3, &rng).empty());
+}
+
+TEST(SamplingTest, SampleFraction) {
+  const Table t = SmallTable(200);
+  Rng rng(4);
+  EXPECT_EQ(SampleRowFraction(t, 0.1, &rng).size(), 20u);
+  // At least one row even for tiny fractions.
+  EXPECT_EQ(SampleRowFraction(t, 1e-6, &rng).size(), 1u);
+}
+
+TEST(SamplingTest, SampleRowsMaterializes) {
+  const Table t = SmallTable(30);
+  Rng rng(5);
+  const Table s = SampleRows(t, 10, &rng);
+  EXPECT_EQ(s.num_rows(), 10);
+  EXPECT_EQ(s.num_columns(), 1);
+}
+
+TEST(SamplingTest, ReservoirKeepsCapacity) {
+  Rng rng(6);
+  ReservoirSampler sampler(10, &rng);
+  for (int64_t i = 0; i < 1000; ++i) sampler.Offer(i);
+  EXPECT_EQ(sampler.reservoir().size(), 10u);
+  EXPECT_EQ(sampler.items_seen(), 1000);
+}
+
+TEST(SamplingTest, ReservoirShortStreamKeepsAll) {
+  Rng rng(7);
+  ReservoirSampler sampler(10, &rng);
+  for (int64_t i = 0; i < 4; ++i) sampler.Offer(i);
+  EXPECT_EQ(sampler.reservoir(), (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+TEST(SamplingTest, ReservoirIsApproximatelyUniform) {
+  // Offer 0..99 into a reservoir of 10, many times; each item should be kept
+  // with probability ~0.1.
+  Rng rng(8);
+  std::vector<int> hits(100, 0);
+  const int trials = 2000;
+  for (int tr = 0; tr < trials; ++tr) {
+    ReservoirSampler sampler(10, &rng);
+    for (int64_t i = 0; i < 100; ++i) sampler.Offer(i);
+    for (int64_t v : sampler.reservoir()) ++hits[static_cast<size_t>(v)];
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(static_cast<double>(hits[i]) / trials, 0.1, 0.04)
+        << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lte::data

@@ -1,0 +1,83 @@
+#include "svm/smo.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::svm {
+namespace {
+
+// Builds the Gram matrix for a point set under a kernel.
+std::vector<double> Gram(const std::vector<std::vector<double>>& x,
+                         const Kernel& k, double gamma) {
+  const auto n = static_cast<int64_t>(x.size());
+  std::vector<double> g(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      g[static_cast<size_t>(i * n + j)] =
+          k.Evaluate(x[static_cast<size_t>(i)], x[static_cast<size_t>(j)],
+                     gamma);
+    }
+  }
+  return g;
+}
+
+TEST(SmoTest, SeparableProblemFindsSeparator) {
+  // 1-D points: negatives at -2,-1; positives at 1,2. Linear kernel.
+  const std::vector<std::vector<double>> x = {{-2}, {-1}, {1}, {2}};
+  const std::vector<double> y = {-1, -1, 1, 1};
+  Kernel k;
+  k.type = KernelType::kLinear;
+  Rng rng(1);
+  SmoResult res;
+  ASSERT_TRUE(SolveSmo(Gram(x, k, 1.0), y, SmoOptions{}, &rng, &res).ok());
+  // Decision value sign must match the labels.
+  for (size_t i = 0; i < x.size(); ++i) {
+    double f = res.bias;
+    for (size_t j = 0; j < x.size(); ++j) {
+      f += res.alphas[j] * y[j] * k.Evaluate(x[j], x[i], 1.0);
+    }
+    EXPECT_GT(f * y[i], 0.0) << "point " << i;
+  }
+  EXPECT_GT(res.num_support_vectors, 0);
+}
+
+TEST(SmoTest, AlphasRespectBoxConstraint) {
+  const std::vector<std::vector<double>> x = {{-1}, {-0.5}, {0.5}, {1}};
+  const std::vector<double> y = {-1, -1, 1, 1};
+  Kernel k;
+  k.type = KernelType::kRbf;
+  Rng rng(2);
+  SmoOptions opt;
+  opt.c = 2.0;
+  SmoResult res;
+  ASSERT_TRUE(SolveSmo(Gram(x, k, 1.0), y, opt, &rng, &res).ok());
+  for (double a : res.alphas) {
+    EXPECT_GE(a, -1e-9);
+    EXPECT_LE(a, opt.c + 1e-9);
+  }
+}
+
+TEST(SmoTest, DualFeasibilitySumAlphaYZero) {
+  const std::vector<std::vector<double>> x = {
+      {-2, 0}, {-1, 1}, {1, -1}, {2, 0}, {1.5, 1}};
+  const std::vector<double> y = {-1, -1, 1, 1, 1};
+  Kernel k;
+  k.type = KernelType::kRbf;
+  Rng rng(3);
+  SmoResult res;
+  ASSERT_TRUE(SolveSmo(Gram(x, k, 0.5), y, SmoOptions{}, &rng, &res).ok());
+  double s = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) s += res.alphas[i] * y[i];
+  EXPECT_NEAR(s, 0.0, 1e-9);
+}
+
+TEST(SmoTest, InvalidInputs) {
+  Rng rng(4);
+  SmoResult res;
+  EXPECT_FALSE(SolveSmo({}, {}, SmoOptions{}, &rng, &res).ok());
+  EXPECT_FALSE(SolveSmo({1.0}, {0.5}, SmoOptions{}, &rng, &res).ok());
+  EXPECT_FALSE(
+      SolveSmo({1.0, 0.0, 0.0}, {1.0, -1.0}, SmoOptions{}, &rng, &res).ok());
+}
+
+}  // namespace
+}  // namespace lte::svm

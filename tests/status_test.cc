@@ -1,0 +1,54 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace lte {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("k must be > 0");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "k must be > 0");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: k must be > 0");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+Status Propagate(const Status& inner) {
+  LTE_RETURN_IF_ERROR(inner);
+  return Status::Internal("should not reach here on error");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  const Status err = Propagate(Status::IoError("disk"));
+  EXPECT_EQ(err.code(), StatusCode::kIoError);
+  const Status ok = Propagate(Status::OK());
+  EXPECT_EQ(ok.code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  const Status s = Status::NotFound("row 7");
+  const Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.message(), "row 7");
+}
+
+}  // namespace
+}  // namespace lte

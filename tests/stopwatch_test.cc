@@ -1,0 +1,41 @@
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace lte {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = sw.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);  // Sanity upper bound.
+}
+
+TEST(StopwatchTest, MillisecondsConsistentWithSeconds) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = sw.ElapsedSeconds();
+  const double ms = sw.ElapsedMillis();
+  EXPECT_GE(ms, s * 1000.0 - 1.0);
+}
+
+TEST(StopwatchTest, RestartResetsOrigin) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 0.015);
+}
+
+TEST(StopwatchTest, MonotonicallyIncreasing) {
+  Stopwatch sw;
+  const double a = sw.ElapsedSeconds();
+  const double b = sw.ElapsedSeconds();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace lte

@@ -1,0 +1,72 @@
+#include "data/subspace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace lte::data {
+namespace {
+
+TEST(SubspaceTest, DecomposeCoversAllAttributesDisjointly) {
+  Rng rng(1);
+  const std::vector<int64_t> attrs = {0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<Subspace> subs = DecomposeSpace(attrs, 2, &rng);
+  EXPECT_EQ(subs.size(), 4u);
+  std::set<int64_t> seen;
+  for (const Subspace& s : subs) {
+    EXPECT_EQ(s.dimension(), 2);
+    for (int64_t a : s.attribute_indices) {
+      EXPECT_TRUE(seen.insert(a).second) << "attribute appears twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), attrs.size());
+}
+
+TEST(SubspaceTest, OddLeftoverFormsOneDimensionalSubspace) {
+  Rng rng(2);
+  const std::vector<Subspace> subs = DecomposeSpace({0, 1, 2, 3, 4}, 2, &rng);
+  EXPECT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs.back().dimension(), 1);
+}
+
+TEST(SubspaceTest, DecompositionIsRandomized) {
+  const std::vector<int64_t> attrs = {0, 1, 2, 3, 4, 5, 6, 7};
+  Rng rng_a(1);
+  Rng rng_b(99);
+  const auto a = DecomposeSpace(attrs, 2, &rng_a);
+  const auto b = DecomposeSpace(attrs, 2, &rng_b);
+  bool any_different = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].attribute_indices != b[i].attribute_indices) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(SubspaceTest, ProjectRows) {
+  Table t({"a", "b", "c"});
+  ASSERT_TRUE(t.AppendRow({1, 2, 3}).ok());
+  ASSERT_TRUE(t.AppendRow({4, 5, 6}).ok());
+  const Subspace s{{2, 0}};
+  const auto pts = ProjectRows(t, s);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0], (std::vector<double>{3, 1}));
+  EXPECT_EQ(pts[1], (std::vector<double>{6, 4}));
+}
+
+TEST(SubspaceTest, ProjectSelectedRows) {
+  Table t({"a", "b"});
+  ASSERT_TRUE(t.AppendRow({1, 2}).ok());
+  ASSERT_TRUE(t.AppendRow({3, 4}).ok());
+  ASSERT_TRUE(t.AppendRow({5, 6}).ok());
+  const Subspace s{{1}};
+  const auto pts = ProjectRows(t, s, {2, 0});
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0], (std::vector<double>{6}));
+  EXPECT_EQ(pts[1], (std::vector<double>{2}));
+}
+
+}  // namespace
+}  // namespace lte::data

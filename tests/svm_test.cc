@@ -1,0 +1,102 @@
+#include "svm/svm.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::svm {
+namespace {
+
+// A ring of negatives around a cluster of positives: needs the RBF kernel.
+void MakeRingData(Rng* rng, std::vector<std::vector<double>>* x,
+                  std::vector<double>* y, int n = 120) {
+  for (int i = 0; i < n / 2; ++i) {
+    x->push_back({rng->Normal(0, 0.3), rng->Normal(0, 0.3)});
+    y->push_back(1.0);
+  }
+  for (int i = 0; i < n / 2; ++i) {
+    const double angle = rng->Uniform(0, 2 * M_PI);
+    const double radius = 2.0 + rng->Uniform(0, 0.3);
+    x->push_back({radius * std::cos(angle), radius * std::sin(angle)});
+    y->push_back(0.0);
+  }
+}
+
+TEST(SvmTest, LearnsLinearlySeparableData) {
+  Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 40; ++i) {
+    x.push_back({rng.Normal(-2, 0.4), rng.Normal(0, 0.4)});
+    y.push_back(0.0);
+    x.push_back({rng.Normal(2, 0.4), rng.Normal(0, 0.4)});
+    y.push_back(1.0);
+  }
+  Svm svm;
+  ASSERT_TRUE(svm.Train(x, y, Kernel{}, SmoOptions{}, &rng).ok());
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (svm.Predict(x[i]) == y[i]) ++correct;
+  }
+  EXPECT_GE(correct, static_cast<int>(x.size() * 95 / 100));
+}
+
+TEST(SvmTest, RbfHandlesNonLinearRing) {
+  Rng rng(2);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeRingData(&rng, &x, &y);
+  Svm svm;
+  Kernel k;
+  k.type = KernelType::kRbf;
+  k.gamma = 2.0;
+  ASSERT_TRUE(svm.Train(x, y, k, SmoOptions{}, &rng).ok());
+  EXPECT_EQ(svm.Predict({0.0, 0.0}), 1.0);
+  EXPECT_EQ(svm.Predict({2.2, 0.0}), 0.0);
+  EXPECT_EQ(svm.Predict({0.0, -2.2}), 0.0);
+}
+
+TEST(SvmTest, OneClassPositiveFallback) {
+  Rng rng(3);
+  Svm svm;
+  ASSERT_TRUE(
+      svm.Train({{0, 0}, {1, 1}}, {1.0, 1.0}, Kernel{}, SmoOptions{}, &rng)
+          .ok());
+  EXPECT_EQ(svm.Predict({100, 100}), 1.0);
+  EXPECT_GT(svm.DecisionFunction({5, 5}), 0.0);
+  EXPECT_EQ(svm.num_support_vectors(), 0);
+}
+
+TEST(SvmTest, OneClassNegativeFallback) {
+  Rng rng(4);
+  Svm svm;
+  ASSERT_TRUE(
+      svm.Train({{0, 0}, {1, 1}}, {0.0, 0.0}, Kernel{}, SmoOptions{}, &rng)
+          .ok());
+  EXPECT_EQ(svm.Predict({0, 0}), 0.0);
+  EXPECT_LT(svm.DecisionFunction({0, 0}), 0.0);
+}
+
+TEST(SvmTest, InvalidInputs) {
+  Rng rng(5);
+  Svm svm;
+  EXPECT_FALSE(svm.Train({}, {}, Kernel{}, SmoOptions{}, &rng).ok());
+  EXPECT_FALSE(
+      svm.Train({{0, 0}}, {1.0, 0.0}, Kernel{}, SmoOptions{}, &rng).ok());
+  EXPECT_FALSE(
+      svm.Train({{0, 0}}, {0.5}, Kernel{}, SmoOptions{}, &rng).ok());
+}
+
+TEST(SvmTest, AutoGammaUsesFeatureCount) {
+  // Just a smoke check that auto-gamma (gamma <= 0) trains and predicts.
+  Rng rng(6);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeRingData(&rng, &x, &y);
+  Svm svm;
+  Kernel k;
+  k.gamma = -1.0;
+  ASSERT_TRUE(svm.Train(x, y, k, SmoOptions{}, &rng).ok());
+  EXPECT_EQ(svm.Predict({0.0, 0.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace lte::svm

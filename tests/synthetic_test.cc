@@ -1,0 +1,72 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace lte::data {
+namespace {
+
+TEST(SyntheticTest, SdssLikeShape) {
+  Rng rng(1);
+  const Table t = MakeSdssLike(500, &rng);
+  EXPECT_EQ(t.num_rows(), 500);
+  EXPECT_EQ(t.num_columns(), 8);
+  EXPECT_EQ(t.AttributeNames()[0], "rowc");
+  EXPECT_EQ(t.AttributeNames()[7], "colv");
+}
+
+TEST(SyntheticTest, CarLikeShape) {
+  Rng rng(2);
+  const Table t = MakeCarLike(500, &rng);
+  EXPECT_EQ(t.num_rows(), 500);
+  EXPECT_EQ(t.num_columns(), 5);
+  EXPECT_EQ(t.AttributeNames()[0], "price");
+}
+
+TEST(SyntheticTest, CarLikeRanges) {
+  Rng rng(3);
+  const Table t = MakeCarLike(2000, &rng);
+  const int64_t year = t.ColumnIndex("year");
+  const int64_t price = t.ColumnIndex("price");
+  const int64_t mileage = t.ColumnIndex("mileage");
+  EXPECT_GE(t.column(year).min(), 1995.0);
+  EXPECT_LE(t.column(year).max(), 2016.0);
+  EXPECT_GT(t.column(price).min(), 0.0);
+  EXPECT_GE(t.column(mileage).min(), 0.0);
+}
+
+TEST(SyntheticTest, SdssSkyMagnitudesAreMultimodal) {
+  // sky_u is drawn from a 3-component mixture with means 21.5/22.8/24.0; its
+  // sample variance must exceed any single component's variance.
+  Rng rng(4);
+  const Table t = MakeSdssLike(5000, &rng);
+  const Column& c = t.column(t.ColumnIndex("sky_u"));
+  const double var = Variance(c.values());
+  EXPECT_GT(var, 0.4 * 0.4 * 1.5);
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  Rng a(7);
+  Rng b(7);
+  const Table ta = MakeCarLike(50, &a);
+  const Table tb = MakeCarLike(50, &b);
+  for (int64_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(ta.Row(r), tb.Row(r));
+  }
+}
+
+TEST(SyntheticTest, BlobsShapeAndSpread) {
+  Rng rng(5);
+  const Table t = MakeBlobs(1000, 3, 4, &rng);
+  EXPECT_EQ(t.num_rows(), 1000);
+  EXPECT_EQ(t.num_columns(), 3);
+  // Values concentrate around [0, 10] within a few sigma.
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_GT(t.column(c).min(), -8.0);
+    EXPECT_LT(t.column(c).max(), 18.0);
+  }
+}
+
+}  // namespace
+}  // namespace lte::data

@@ -1,0 +1,91 @@
+#include "data/table.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::data {
+namespace {
+
+Table MakeTable() {
+  Table t({"a", "b", "c"});
+  EXPECT_TRUE(t.AppendRow({1.0, 2.0, 3.0}).ok());
+  EXPECT_TRUE(t.AppendRow({4.0, 5.0, 6.0}).ok());
+  EXPECT_TRUE(t.AppendRow({7.0, 8.0, 9.0}).ok());
+  return t;
+}
+
+TEST(TableTest, ShapeAndNames) {
+  const Table t = MakeTable();
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.num_columns(), 3);
+  EXPECT_EQ(t.AttributeNames(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TableTest, ColumnIndex) {
+  const Table t = MakeTable();
+  EXPECT_EQ(t.ColumnIndex("b"), 1);
+  EXPECT_EQ(t.ColumnIndex("missing"), -1);
+}
+
+TEST(TableTest, RowAccess) {
+  const Table t = MakeTable();
+  EXPECT_EQ(t.Row(1), (std::vector<double>{4.0, 5.0, 6.0}));
+}
+
+TEST(TableTest, RowProjected) {
+  const Table t = MakeTable();
+  EXPECT_EQ(t.RowProjected(2, {2, 0}), (std::vector<double>{9.0, 7.0}));
+}
+
+TEST(TableTest, AppendRowWidthMismatchFails) {
+  Table t({"a", "b"});
+  const Status s = t.AppendRow({1.0});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 0);
+}
+
+TEST(TableTest, AddColumn) {
+  Table t;
+  EXPECT_TRUE(t.AddColumn(Column("x", {1.0, 2.0})).ok());
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_TRUE(t.AddColumn(Column("y", {3.0, 4.0})).ok());
+  EXPECT_EQ(t.num_columns(), 2);
+}
+
+TEST(TableTest, AddColumnDuplicateNameFails) {
+  Table t;
+  ASSERT_TRUE(t.AddColumn(Column("x", {1.0})).ok());
+  EXPECT_FALSE(t.AddColumn(Column("x", {2.0})).ok());
+}
+
+TEST(TableTest, AddColumnLengthMismatchFails) {
+  Table t;
+  ASSERT_TRUE(t.AddColumn(Column("x", {1.0, 2.0})).ok());
+  EXPECT_FALSE(t.AddColumn(Column("y", {1.0})).ok());
+}
+
+TEST(TableTest, Project) {
+  const Table t = MakeTable();
+  const Table p = t.Project({2, 0});
+  EXPECT_EQ(p.num_columns(), 2);
+  EXPECT_EQ(p.num_rows(), 3);
+  EXPECT_EQ(p.AttributeNames(), (std::vector<std::string>{"c", "a"}));
+  EXPECT_EQ(p.Row(0), (std::vector<double>{3.0, 1.0}));
+}
+
+TEST(TableTest, SelectRows) {
+  const Table t = MakeTable();
+  const Table s = t.SelectRows({2, 0});
+  EXPECT_EQ(s.num_rows(), 2);
+  EXPECT_EQ(s.Row(0), (std::vector<double>{7.0, 8.0, 9.0}));
+  EXPECT_EQ(s.Row(1), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(TableTest, MinMaxViaColumns) {
+  const Table t = MakeTable();
+  EXPECT_DOUBLE_EQ(t.column(0).min(), 1.0);
+  EXPECT_DOUBLE_EQ(t.column(0).max(), 7.0);
+}
+
+}  // namespace
+}  // namespace lte::data

@@ -1,0 +1,99 @@
+#include "eval/uir_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace lte::eval {
+namespace {
+
+core::MetaTaskGenOptions SmallGenOptions() {
+  core::MetaTaskGenOptions opt;
+  opt.k_u = 30;
+  opt.k_s = 10;
+  opt.k_q = 30;
+  return opt;
+}
+
+class UirGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(31);
+    table_ = data::MakeBlobs(4000, 4, 4, rng_.get());
+    subspaces_ = {data::Subspace{{0, 1}}, data::Subspace{{2, 3}}};
+    generator_ = std::make_unique<UirGenerator>(SmallGenOptions());
+    ASSERT_TRUE(generator_->Init(table_, subspaces_, rng_.get()).ok());
+  }
+
+  std::unique_ptr<Rng> rng_;
+  data::Table table_;
+  std::vector<data::Subspace> subspaces_;
+  std::unique_ptr<UirGenerator> generator_;
+};
+
+TEST(BenchmarkModesTest, TableThreeModes) {
+  const std::vector<UisMode> modes = BenchmarkModes();
+  ASSERT_EQ(modes.size(), 7u);
+  EXPECT_EQ(modes[0].name, "M1");
+  EXPECT_EQ(modes[0].alpha, 4);
+  EXPECT_EQ(modes[0].psi, 20);
+  EXPECT_EQ(modes[3].psi, 5);
+  EXPECT_EQ(modes[4].alpha, 1);
+  EXPECT_EQ(modes[6].alpha, 3);
+}
+
+TEST_F(UirGeneratorTest, GenerateFullUir) {
+  const GroundTruthUir uir = generator_->Generate({"t", 2, 8}, rng_.get());
+  EXPECT_EQ(uir.subspaces.size(), 2u);
+  EXPECT_EQ(uir.regions.size(), 2u);
+  for (const auto& r : uir.regions) EXPECT_FALSE(r.empty());
+}
+
+TEST_F(UirGeneratorTest, GeneratePrefixUir) {
+  const GroundTruthUir uir = generator_->Generate({"t", 1, 8}, 1, rng_.get());
+  EXPECT_EQ(uir.subspaces.size(), 1u);
+}
+
+TEST_F(UirGeneratorTest, ContainsIsConjunctive) {
+  const GroundTruthUir uir = generator_->Generate({"t", 1, 20}, rng_.get());
+  int row_hits = 0;
+  for (int64_t r = 0; r < 500; ++r) {
+    const std::vector<double> row = table_.Row(r);
+    const bool full = uir.Contains(row);
+    bool per_subspace = true;
+    for (int64_t s = 0; s < 2; ++s) {
+      std::vector<double> point;
+      for (int64_t a : uir.subspaces[static_cast<size_t>(s)].attribute_indices) {
+        point.push_back(row[static_cast<size_t>(a)]);
+      }
+      per_subspace = per_subspace && uir.ContainsSubspacePoint(s, point);
+    }
+    EXPECT_EQ(full, per_subspace);
+    if (full) ++row_hits;
+  }
+  // A ψ=20-of-30-centers hull should cover a non-trivial share of the data.
+  EXPECT_GT(row_hits, 0);
+}
+
+TEST_F(UirGeneratorTest, UirsNonTrivialSelectivity) {
+  // Over several generated UIRs, positives should be neither empty nor all.
+  int total_hits = 0;
+  const int rows = 400;
+  for (int t = 0; t < 5; ++t) {
+    const GroundTruthUir uir = generator_->Generate({"t", 2, 10}, rng_.get());
+    for (int64_t r = 0; r < rows; ++r) {
+      if (uir.Contains(table_.Row(r))) ++total_hits;
+    }
+  }
+  EXPECT_GT(total_hits, 0);
+  EXPECT_LT(total_hits, 5 * rows);
+}
+
+TEST_F(UirGeneratorTest, InitFailuresPropagate) {
+  UirGenerator g(SmallGenOptions());
+  Rng rng(1);
+  EXPECT_FALSE(g.Init(table_, {}, &rng).ok());
+}
+
+}  // namespace
+}  // namespace lte::eval

@@ -1,0 +1,60 @@
+#include "core/uis_feature.h"
+
+#include <gtest/gtest.h>
+
+namespace lte::core {
+namespace {
+
+// C^s centers on a line at x = 0, 4, 8; C^u centers at x = 0..9.
+cluster::ProximityMatrix MakeProximity() {
+  std::vector<std::vector<double>> s = {{0.0}, {4.0}, {8.0}};
+  std::vector<std::vector<double>> u;
+  for (int i = 0; i < 10; ++i) u.push_back({static_cast<double>(i)});
+  return cluster::ProximityMatrix(s, u);
+}
+
+TEST(UisFeatureTest, NoPositiveLabelsYieldsZeroVector) {
+  const auto p = MakeProximity();
+  const std::vector<double> v = BuildUisFeature({0, 0, 0}, p, 2);
+  EXPECT_EQ(v.size(), 10u);
+  for (double b : v) EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+TEST(UisFeatureTest, PositiveCenterTurnsOnNearestBits) {
+  const auto p = MakeProximity();
+  // Center at x=0 positive, expansion 2: nearest C^u centers are x=0 and x=1.
+  const std::vector<double> v = BuildUisFeature({1, 0, 0}, p, 2);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+  for (size_t i = 2; i < 10; ++i) EXPECT_DOUBLE_EQ(v[i], 0.0);
+}
+
+TEST(UisFeatureTest, MultiplePositivesUnionBits) {
+  const auto p = MakeProximity();
+  const std::vector<double> v = BuildUisFeature({1, 0, 1}, p, 2);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+  EXPECT_DOUBLE_EQ(v[8], 1.0);
+  // x=8's 2-NN are {8, 7} or {8, 9}; exactly 4 bits set overall.
+  double total = 0;
+  for (double b : v) total += b;
+  EXPECT_DOUBLE_EQ(total, 4.0);
+}
+
+TEST(UisFeatureTest, LargerExpansionIsMonotone) {
+  const auto p = MakeProximity();
+  const std::vector<double> v2 = BuildUisFeature({0, 1, 0}, p, 2);
+  const std::vector<double> v5 = BuildUisFeature({0, 1, 0}, p, 5);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_GE(v5[i], v2[i]);  // Bits never turn off as l grows.
+  }
+}
+
+TEST(UisFeatureTest, FullExpansionCoversEverything) {
+  const auto p = MakeProximity();
+  const std::vector<double> v = BuildUisFeature({1, 1, 1}, p, 10);
+  for (double b : v) EXPECT_DOUBLE_EQ(b, 1.0);
+}
+
+}  // namespace
+}  // namespace lte::core
