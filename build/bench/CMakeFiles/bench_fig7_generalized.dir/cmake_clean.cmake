@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_generalized.dir/bench_fig7_generalized.cc.o"
+  "CMakeFiles/bench_fig7_generalized.dir/bench_fig7_generalized.cc.o.d"
+  "bench_fig7_generalized"
+  "bench_fig7_generalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_generalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

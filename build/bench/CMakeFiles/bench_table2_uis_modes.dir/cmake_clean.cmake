@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_uis_modes.dir/bench_table2_uis_modes.cc.o"
+  "CMakeFiles/bench_table2_uis_modes.dir/bench_table2_uis_modes.cc.o.d"
+  "bench_table2_uis_modes"
+  "bench_table2_uis_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_uis_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

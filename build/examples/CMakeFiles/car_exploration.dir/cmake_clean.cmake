@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/car_exploration.dir/car_exploration.cc.o"
+  "CMakeFiles/car_exploration.dir/car_exploration.cc.o.d"
+  "car_exploration"
+  "car_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/car_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plug_into_active_learning.dir/plug_into_active_learning.cc.o"
+  "CMakeFiles/plug_into_active_learning.dir/plug_into_active_learning.cc.o.d"
+  "plug_into_active_learning"
+  "plug_into_active_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plug_into_active_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

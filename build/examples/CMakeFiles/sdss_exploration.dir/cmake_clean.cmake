@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdss_exploration.dir/sdss_exploration.cc.o"
+  "CMakeFiles/sdss_exploration.dir/sdss_exploration.cc.o.d"
+  "sdss_exploration"
+  "sdss_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdss_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/active_learner.cc" "src/CMakeFiles/lte_baselines.dir/baselines/active_learner.cc.o" "gcc" "src/CMakeFiles/lte_baselines.dir/baselines/active_learner.cc.o.d"
+  "/root/repo/src/baselines/aide.cc" "src/CMakeFiles/lte_baselines.dir/baselines/aide.cc.o" "gcc" "src/CMakeFiles/lte_baselines.dir/baselines/aide.cc.o.d"
+  "/root/repo/src/baselines/dsm.cc" "src/CMakeFiles/lte_baselines.dir/baselines/dsm.cc.o" "gcc" "src/CMakeFiles/lte_baselines.dir/baselines/dsm.cc.o.d"
+  "/root/repo/src/baselines/polytope.cc" "src/CMakeFiles/lte_baselines.dir/baselines/polytope.cc.o" "gcc" "src/CMakeFiles/lte_baselines.dir/baselines/polytope.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lte_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

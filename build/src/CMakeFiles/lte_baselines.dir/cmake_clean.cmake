@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_baselines.dir/baselines/active_learner.cc.o"
+  "CMakeFiles/lte_baselines.dir/baselines/active_learner.cc.o.d"
+  "CMakeFiles/lte_baselines.dir/baselines/aide.cc.o"
+  "CMakeFiles/lte_baselines.dir/baselines/aide.cc.o.d"
+  "CMakeFiles/lte_baselines.dir/baselines/dsm.cc.o"
+  "CMakeFiles/lte_baselines.dir/baselines/dsm.cc.o.d"
+  "CMakeFiles/lte_baselines.dir/baselines/polytope.cc.o"
+  "CMakeFiles/lte_baselines.dir/baselines/polytope.cc.o.d"
+  "liblte_baselines.a"
+  "liblte_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

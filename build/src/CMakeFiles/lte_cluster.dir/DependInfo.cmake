@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/drift.cc" "src/CMakeFiles/lte_cluster.dir/cluster/drift.cc.o" "gcc" "src/CMakeFiles/lte_cluster.dir/cluster/drift.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/lte_cluster.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/lte_cluster.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/proximity.cc" "src/CMakeFiles/lte_cluster.dir/cluster/proximity.cc.o" "gcc" "src/CMakeFiles/lte_cluster.dir/cluster/proximity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lte_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_cluster.dir/cluster/drift.cc.o"
+  "CMakeFiles/lte_cluster.dir/cluster/drift.cc.o.d"
+  "CMakeFiles/lte_cluster.dir/cluster/kmeans.cc.o"
+  "CMakeFiles/lte_cluster.dir/cluster/kmeans.cc.o.d"
+  "CMakeFiles/lte_cluster.dir/cluster/proximity.cc.o"
+  "CMakeFiles/lte_cluster.dir/cluster/proximity.cc.o.d"
+  "liblte_cluster.a"
+  "liblte_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_common.dir/common/binary_io.cc.o"
+  "CMakeFiles/lte_common.dir/common/binary_io.cc.o.d"
+  "CMakeFiles/lte_common.dir/common/math_util.cc.o"
+  "CMakeFiles/lte_common.dir/common/math_util.cc.o.d"
+  "CMakeFiles/lte_common.dir/common/rng.cc.o"
+  "CMakeFiles/lte_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/lte_common.dir/common/status.cc.o"
+  "CMakeFiles/lte_common.dir/common/status.cc.o.d"
+  "CMakeFiles/lte_common.dir/common/stopwatch.cc.o"
+  "CMakeFiles/lte_common.dir/common/stopwatch.cc.o.d"
+  "liblte_common.a"
+  "liblte_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/explorer.cc" "src/CMakeFiles/lte_core.dir/core/explorer.cc.o" "gcc" "src/CMakeFiles/lte_core.dir/core/explorer.cc.o.d"
+  "/root/repo/src/core/meta_learner.cc" "src/CMakeFiles/lte_core.dir/core/meta_learner.cc.o" "gcc" "src/CMakeFiles/lte_core.dir/core/meta_learner.cc.o.d"
+  "/root/repo/src/core/meta_task.cc" "src/CMakeFiles/lte_core.dir/core/meta_task.cc.o" "gcc" "src/CMakeFiles/lte_core.dir/core/meta_task.cc.o.d"
+  "/root/repo/src/core/meta_trainer.cc" "src/CMakeFiles/lte_core.dir/core/meta_trainer.cc.o" "gcc" "src/CMakeFiles/lte_core.dir/core/meta_trainer.cc.o.d"
+  "/root/repo/src/core/optimizer_fpfn.cc" "src/CMakeFiles/lte_core.dir/core/optimizer_fpfn.cc.o" "gcc" "src/CMakeFiles/lte_core.dir/core/optimizer_fpfn.cc.o.d"
+  "/root/repo/src/core/query_synthesis.cc" "src/CMakeFiles/lte_core.dir/core/query_synthesis.cc.o" "gcc" "src/CMakeFiles/lte_core.dir/core/query_synthesis.cc.o.d"
+  "/root/repo/src/core/uis_feature.cc" "src/CMakeFiles/lte_core.dir/core/uis_feature.cc.o" "gcc" "src/CMakeFiles/lte_core.dir/core/uis_feature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lte_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_core.dir/core/explorer.cc.o"
+  "CMakeFiles/lte_core.dir/core/explorer.cc.o.d"
+  "CMakeFiles/lte_core.dir/core/meta_learner.cc.o"
+  "CMakeFiles/lte_core.dir/core/meta_learner.cc.o.d"
+  "CMakeFiles/lte_core.dir/core/meta_task.cc.o"
+  "CMakeFiles/lte_core.dir/core/meta_task.cc.o.d"
+  "CMakeFiles/lte_core.dir/core/meta_trainer.cc.o"
+  "CMakeFiles/lte_core.dir/core/meta_trainer.cc.o.d"
+  "CMakeFiles/lte_core.dir/core/optimizer_fpfn.cc.o"
+  "CMakeFiles/lte_core.dir/core/optimizer_fpfn.cc.o.d"
+  "CMakeFiles/lte_core.dir/core/query_synthesis.cc.o"
+  "CMakeFiles/lte_core.dir/core/query_synthesis.cc.o.d"
+  "CMakeFiles/lte_core.dir/core/uis_feature.cc.o"
+  "CMakeFiles/lte_core.dir/core/uis_feature.cc.o.d"
+  "liblte_core.a"
+  "liblte_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/column.cc" "src/CMakeFiles/lte_data.dir/data/column.cc.o" "gcc" "src/CMakeFiles/lte_data.dir/data/column.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/lte_data.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/lte_data.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/sampling.cc" "src/CMakeFiles/lte_data.dir/data/sampling.cc.o" "gcc" "src/CMakeFiles/lte_data.dir/data/sampling.cc.o.d"
+  "/root/repo/src/data/subspace.cc" "src/CMakeFiles/lte_data.dir/data/subspace.cc.o" "gcc" "src/CMakeFiles/lte_data.dir/data/subspace.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/lte_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/lte_data.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/lte_data.dir/data/table.cc.o" "gcc" "src/CMakeFiles/lte_data.dir/data/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_data.dir/data/column.cc.o"
+  "CMakeFiles/lte_data.dir/data/column.cc.o.d"
+  "CMakeFiles/lte_data.dir/data/csv.cc.o"
+  "CMakeFiles/lte_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/lte_data.dir/data/sampling.cc.o"
+  "CMakeFiles/lte_data.dir/data/sampling.cc.o.d"
+  "CMakeFiles/lte_data.dir/data/subspace.cc.o"
+  "CMakeFiles/lte_data.dir/data/subspace.cc.o.d"
+  "CMakeFiles/lte_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/lte_data.dir/data/synthetic.cc.o.d"
+  "CMakeFiles/lte_data.dir/data/table.cc.o"
+  "CMakeFiles/lte_data.dir/data/table.cc.o.d"
+  "liblte_data.a"
+  "liblte_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/convergence.cc" "src/CMakeFiles/lte_eval.dir/eval/convergence.cc.o" "gcc" "src/CMakeFiles/lte_eval.dir/eval/convergence.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/lte_eval.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/lte_eval.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/lte_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/lte_eval.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/oracle.cc" "src/CMakeFiles/lte_eval.dir/eval/oracle.cc.o" "gcc" "src/CMakeFiles/lte_eval.dir/eval/oracle.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/lte_eval.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/lte_eval.dir/eval/report.cc.o.d"
+  "/root/repo/src/eval/uir_generator.cc" "src/CMakeFiles/lte_eval.dir/eval/uir_generator.cc.o" "gcc" "src/CMakeFiles/lte_eval.dir/eval/uir_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lte_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_eval.dir/eval/convergence.cc.o"
+  "CMakeFiles/lte_eval.dir/eval/convergence.cc.o.d"
+  "CMakeFiles/lte_eval.dir/eval/experiment.cc.o"
+  "CMakeFiles/lte_eval.dir/eval/experiment.cc.o.d"
+  "CMakeFiles/lte_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/lte_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/lte_eval.dir/eval/oracle.cc.o"
+  "CMakeFiles/lte_eval.dir/eval/oracle.cc.o.d"
+  "CMakeFiles/lte_eval.dir/eval/report.cc.o"
+  "CMakeFiles/lte_eval.dir/eval/report.cc.o.d"
+  "CMakeFiles/lte_eval.dir/eval/uir_generator.cc.o"
+  "CMakeFiles/lte_eval.dir/eval/uir_generator.cc.o.d"
+  "liblte_eval.a"
+  "liblte_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_geom.dir/geom/convex_hull.cc.o"
+  "CMakeFiles/lte_geom.dir/geom/convex_hull.cc.o.d"
+  "CMakeFiles/lte_geom.dir/geom/region.cc.o"
+  "CMakeFiles/lte_geom.dir/geom/region.cc.o.d"
+  "liblte_geom.a"
+  "liblte_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/CMakeFiles/lte_nn.dir/nn/activations.cc.o" "gcc" "src/CMakeFiles/lte_nn.dir/nn/activations.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/lte_nn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/lte_nn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/lte_nn.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/lte_nn.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/CMakeFiles/lte_nn.dir/nn/matrix.cc.o" "gcc" "src/CMakeFiles/lte_nn.dir/nn/matrix.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/lte_nn.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/lte_nn.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/lte_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/lte_nn.dir/nn/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_nn.dir/nn/activations.cc.o"
+  "CMakeFiles/lte_nn.dir/nn/activations.cc.o.d"
+  "CMakeFiles/lte_nn.dir/nn/linear.cc.o"
+  "CMakeFiles/lte_nn.dir/nn/linear.cc.o.d"
+  "CMakeFiles/lte_nn.dir/nn/loss.cc.o"
+  "CMakeFiles/lte_nn.dir/nn/loss.cc.o.d"
+  "CMakeFiles/lte_nn.dir/nn/matrix.cc.o"
+  "CMakeFiles/lte_nn.dir/nn/matrix.cc.o.d"
+  "CMakeFiles/lte_nn.dir/nn/mlp.cc.o"
+  "CMakeFiles/lte_nn.dir/nn/mlp.cc.o.d"
+  "CMakeFiles/lte_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/lte_nn.dir/nn/optimizer.cc.o.d"
+  "liblte_nn.a"
+  "liblte_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

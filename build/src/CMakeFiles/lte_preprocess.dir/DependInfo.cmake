@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/preprocess/gmm.cc" "src/CMakeFiles/lte_preprocess.dir/preprocess/gmm.cc.o" "gcc" "src/CMakeFiles/lte_preprocess.dir/preprocess/gmm.cc.o.d"
+  "/root/repo/src/preprocess/jenks.cc" "src/CMakeFiles/lte_preprocess.dir/preprocess/jenks.cc.o" "gcc" "src/CMakeFiles/lte_preprocess.dir/preprocess/jenks.cc.o.d"
+  "/root/repo/src/preprocess/normalizer.cc" "src/CMakeFiles/lte_preprocess.dir/preprocess/normalizer.cc.o" "gcc" "src/CMakeFiles/lte_preprocess.dir/preprocess/normalizer.cc.o.d"
+  "/root/repo/src/preprocess/tabular_encoder.cc" "src/CMakeFiles/lte_preprocess.dir/preprocess/tabular_encoder.cc.o" "gcc" "src/CMakeFiles/lte_preprocess.dir/preprocess/tabular_encoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lte_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lte_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_preprocess.dir/preprocess/gmm.cc.o"
+  "CMakeFiles/lte_preprocess.dir/preprocess/gmm.cc.o.d"
+  "CMakeFiles/lte_preprocess.dir/preprocess/jenks.cc.o"
+  "CMakeFiles/lte_preprocess.dir/preprocess/jenks.cc.o.d"
+  "CMakeFiles/lte_preprocess.dir/preprocess/normalizer.cc.o"
+  "CMakeFiles/lte_preprocess.dir/preprocess/normalizer.cc.o.d"
+  "CMakeFiles/lte_preprocess.dir/preprocess/tabular_encoder.cc.o"
+  "CMakeFiles/lte_preprocess.dir/preprocess/tabular_encoder.cc.o.d"
+  "liblte_preprocess.a"
+  "liblte_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

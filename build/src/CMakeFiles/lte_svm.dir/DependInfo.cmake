@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svm/kernel.cc" "src/CMakeFiles/lte_svm.dir/svm/kernel.cc.o" "gcc" "src/CMakeFiles/lte_svm.dir/svm/kernel.cc.o.d"
+  "/root/repo/src/svm/smo.cc" "src/CMakeFiles/lte_svm.dir/svm/smo.cc.o" "gcc" "src/CMakeFiles/lte_svm.dir/svm/smo.cc.o.d"
+  "/root/repo/src/svm/svm.cc" "src/CMakeFiles/lte_svm.dir/svm/svm.cc.o" "gcc" "src/CMakeFiles/lte_svm.dir/svm/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_svm.dir/svm/kernel.cc.o"
+  "CMakeFiles/lte_svm.dir/svm/kernel.cc.o.d"
+  "CMakeFiles/lte_svm.dir/svm/smo.cc.o"
+  "CMakeFiles/lte_svm.dir/svm/smo.cc.o.d"
+  "CMakeFiles/lte_svm.dir/svm/svm.cc.o"
+  "CMakeFiles/lte_svm.dir/svm/svm.cc.o.d"
+  "liblte_svm.a"
+  "liblte_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_tree.dir/tree/decision_tree.cc.o"
+  "CMakeFiles/lte_tree.dir/tree/decision_tree.cc.o.d"
+  "liblte_tree.a"
+  "liblte_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

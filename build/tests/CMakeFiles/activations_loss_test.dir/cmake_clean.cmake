@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activations_loss_test.dir/activations_loss_test.cc.o"
+  "CMakeFiles/activations_loss_test.dir/activations_loss_test.cc.o.d"
+  "activations_loss_test"
+  "activations_loss_test.pdb"
+  "activations_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activations_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

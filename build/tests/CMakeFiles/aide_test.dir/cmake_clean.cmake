@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aide_test.dir/aide_test.cc.o"
+  "CMakeFiles/aide_test.dir/aide_test.cc.o.d"
+  "aide_test"
+  "aide_test.pdb"
+  "aide_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aide_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jenks_test.dir/jenks_test.cc.o"
+  "CMakeFiles/jenks_test.dir/jenks_test.cc.o.d"
+  "jenks_test"
+  "jenks_test.pdb"
+  "jenks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jenks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_learner_test.dir/meta_learner_test.cc.o"
+  "CMakeFiles/meta_learner_test.dir/meta_learner_test.cc.o.d"
+  "meta_learner_test"
+  "meta_learner_test.pdb"
+  "meta_learner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_task_test.dir/meta_task_test.cc.o"
+  "CMakeFiles/meta_task_test.dir/meta_task_test.cc.o.d"
+  "meta_task_test"
+  "meta_task_test.pdb"
+  "meta_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_trainer_test.dir/meta_trainer_test.cc.o"
+  "CMakeFiles/meta_trainer_test.dir/meta_trainer_test.cc.o.d"
+  "meta_trainer_test"
+  "meta_trainer_test.pdb"
+  "meta_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_robustness_test.dir/model_robustness_test.cc.o"
+  "CMakeFiles/model_robustness_test.dir/model_robustness_test.cc.o.d"
+  "model_robustness_test"
+  "model_robustness_test.pdb"
+  "model_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

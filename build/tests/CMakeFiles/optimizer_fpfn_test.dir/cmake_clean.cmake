@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_fpfn_test.dir/optimizer_fpfn_test.cc.o"
+  "CMakeFiles/optimizer_fpfn_test.dir/optimizer_fpfn_test.cc.o.d"
+  "optimizer_fpfn_test"
+  "optimizer_fpfn_test.pdb"
+  "optimizer_fpfn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_fpfn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

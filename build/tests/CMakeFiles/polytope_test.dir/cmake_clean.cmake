@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polytope_test.dir/polytope_test.cc.o"
+  "CMakeFiles/polytope_test.dir/polytope_test.cc.o.d"
+  "polytope_test"
+  "polytope_test.pdb"
+  "polytope_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polytope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_synthesis_test.dir/query_synthesis_test.cc.o"
+  "CMakeFiles/query_synthesis_test.dir/query_synthesis_test.cc.o.d"
+  "query_synthesis_test"
+  "query_synthesis_test.pdb"
+  "query_synthesis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_synthesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smo_test.dir/smo_test.cc.o"
+  "CMakeFiles/smo_test.dir/smo_test.cc.o.d"
+  "smo_test"
+  "smo_test.pdb"
+  "smo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabular_encoder_test.dir/tabular_encoder_test.cc.o"
+  "CMakeFiles/tabular_encoder_test.dir/tabular_encoder_test.cc.o.d"
+  "tabular_encoder_test"
+  "tabular_encoder_test.pdb"
+  "tabular_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabular_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uir_generator_test.dir/uir_generator_test.cc.o"
+  "CMakeFiles/uir_generator_test.dir/uir_generator_test.cc.o.d"
+  "uir_generator_test"
+  "uir_generator_test.pdb"
+  "uir_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uir_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

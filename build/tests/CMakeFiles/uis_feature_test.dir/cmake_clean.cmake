@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uis_feature_test.dir/uis_feature_test.cc.o"
+  "CMakeFiles/uis_feature_test.dir/uis_feature_test.cc.o.d"
+  "uis_feature_test"
+  "uis_feature_test.pdb"
+  "uis_feature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uis_feature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
