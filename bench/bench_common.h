@@ -90,7 +90,8 @@ inline eval::RunnerOptions BaseRunnerOptions(int64_t alpha, int64_t psi,
   opt.explorer.trainer.local_batch_size = 10;
   opt.explorer.trainer.local_lr = 0.2;
   opt.explorer.trainer.global_lr = 0.3;
-  opt.explorer.trainer.num_threads = 4;
+  opt.explorer.trainer.num_threads = 0;  // Auto: one lane per hardware thread.
+  opt.explorer.num_threads = 0;          // Subspaces fan out the same way.
   opt.explorer.online_steps = 40;
   opt.explorer.online_batch_size = 10;
   opt.explorer.online_lr = 0.2;

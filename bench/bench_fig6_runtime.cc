@@ -1,17 +1,58 @@
 // Reproduces paper Figure 6: online exploration runtime w.r.t. budget B at
-// 4D and 8D (SDSS).
+// 4D and 8D (SDSS), plus an offline-training scaling study over the shared
+// thread pool (the paper reports offline cost in Figure 8(b); here the axis
+// is the thread count).
 //
 // Expected shape (paper): DSM's online cost grows roughly linearly with the
 // budget (every labelled batch retrains the SVM inside the active-learning
 // loop) and with dimension, while Meta*'s online cost — a fixed number of
 // fast-adaptation gradient steps — is orders of magnitude lower and almost
-// flat in both budget and dimension.
+// flat in both budget and dimension. The offline section should show
+// near-linear wall-clock speedup up to the machine's core count (subspaces
+// and per-batch tasks are independent), with bit-identical trained models
+// at every thread count.
 
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "bench_common.h"
 #include "eval/report.h"
 
 namespace lte::bench {
 namespace {
+
+void RunOfflineThreads() {
+  const Scale scale = GetScale();
+  PrintHeader(
+      "Figure 6 addendum: offline meta-training wall clock w.r.t. threads");
+  std::printf("hardware threads available: %lld\n",
+              static_cast<long long>(DefaultThreadCount()));
+
+  Rng data_rng(11);
+  const data::Table sdss = data::MakeSdssLike(scale.sdss_rows, &data_rng);
+
+  eval::TextTable table({"threads", "offline wall (s)", "speedup vs 1"});
+  double baseline = 0.0;
+  for (int64_t threads : {int64_t{1}, int64_t{2}, int64_t{4}, int64_t{8}}) {
+    core::ExplorerOptions opt = BaseRunnerOptions(1, ConvexPsi()).explorer;
+    opt.num_threads = threads;          // Subspace-level lanes.
+    opt.trainer.num_threads = threads;  // Per-batch task lanes.
+    core::Explorer explorer(opt);
+    Rng rng(42);  // Same seed per row: identical work, identical model.
+    Stopwatch sw;
+    if (!explorer
+             .Pretrain(sdss, SdssSubspaces(), /*train_meta=*/true, &rng)
+             .ok()) {
+      std::printf("pretrain failed at threads=%lld\n",
+                  static_cast<long long>(threads));
+      return;
+    }
+    const double wall = sw.ElapsedSeconds();
+    if (threads == 1) baseline = wall;
+    table.AddRow(std::to_string(threads),
+                 {wall, baseline > 0.0 ? baseline / wall : 0.0}, 4);
+  }
+  table.Print();
+}
 
 void Run() {
   const Scale scale = GetScale();
@@ -68,5 +109,6 @@ void Run() {
 
 int main() {
   lte::bench::Run();
+  lte::bench::RunOfflineThreads();
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace lte::cluster {
 namespace {
@@ -85,18 +86,38 @@ Status KMeans(const std::vector<std::vector<double>>& points,
   res.centers = SeedPlusPlus(points, options.k, rng);
   res.assignments.assign(static_cast<size_t>(n), -1);
 
+  // Scratch for the parallel assignment step: nearest center and distance
+  // per point. The reduction over these runs sequentially in point order, so
+  // inertia is bit-identical for any lane count.
+  std::vector<int64_t> nearest(static_cast<size_t>(n), -1);
+  std::vector<double> nearest_d2(static_cast<size_t>(n), 0.0);
+  // The per-point body is cheap, so cap lanes by a minimum grain to keep
+  // small clustering calls (per-subspace contexts) on the fast inline path.
+  constexpr int64_t kMinPointsPerLane = 256;
+  const int64_t lanes =
+      std::min(ResolveThreadCount(options.num_threads),
+               (n + kMinPointsPerLane - 1) / kMinPointsPerLane);
+
   for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
     res.iterations = iter + 1;
-    // Assignment step.
+    // Assignment step: the nearest-center searches are independent per
+    // point — the hot loop of clustering-heavy meta-task generation.
+    ThreadPool::Shared().ParallelForShards(
+        0, n, lanes, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            nearest[static_cast<size_t>(i)] =
+                NearestCenter(points[static_cast<size_t>(i)], res.centers,
+                              &nearest_d2[static_cast<size_t>(i)]);
+          }
+        });
     bool changed = false;
     res.inertia = 0.0;
     for (int64_t i = 0; i < n; ++i) {
-      double d2 = 0.0;
-      const int64_t c = NearestCenter(points[static_cast<size_t>(i)],
-                                      res.centers, &d2);
-      res.inertia += d2;
-      if (c != res.assignments[static_cast<size_t>(i)]) {
-        res.assignments[static_cast<size_t>(i)] = c;
+      res.inertia += nearest_d2[static_cast<size_t>(i)];
+      if (nearest[static_cast<size_t>(i)] !=
+          res.assignments[static_cast<size_t>(i)]) {
+        res.assignments[static_cast<size_t>(i)] =
+            nearest[static_cast<size_t>(i)];
         changed = true;
       }
     }

@@ -16,6 +16,11 @@ struct KMeansOptions {
   /// Converged when no assignment changes or total center movement (squared)
   /// falls below this threshold.
   double tolerance = 1e-8;
+  /// Pool lanes for the assignment step (nearest-center search per point).
+  /// 0 = auto (one lane per hardware thread), 1 = sequential. The result is
+  /// bit-identical for any value: per-point distances land in per-point
+  /// slots and the inertia reduction always runs in point order.
+  int64_t num_threads = 0;
 };
 
 /// Result of a k-means run.

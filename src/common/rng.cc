@@ -46,4 +46,14 @@ Rng Rng::Fork() {
   return Rng(dist(engine_));
 }
 
+Rng Rng::Fork(uint64_t key) const {
+  // SplitMix64 finalizer over the construction seed and the golden-ratio
+  // spread of the key: well-mixed child seeds even for consecutive keys,
+  // without touching the parent engine.
+  uint64_t z = seed_ ^ (0x9E3779B97F4A7C15ULL * (key + 1));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return Rng(z ^ (z >> 31));
+}
+
 }  // namespace lte

@@ -15,7 +15,10 @@ namespace lte {
 /// from a single seed. Wraps std::mt19937_64.
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+  explicit Rng(uint64_t seed = 42) : seed_(seed), engine_(seed) {}
+
+  /// The seed this generator was constructed with (the keyed Fork base).
+  uint64_t seed() const { return seed_; }
 
   /// Uniform integer in [0, n). Requires n > 0.
   int64_t UniformInt(int64_t n);
@@ -39,12 +42,27 @@ class Rng {
     std::shuffle(v->begin(), v->end(), engine_);
   }
 
-  /// Derives an independent child generator (for per-subspace determinism).
+  /// Derives an independent child generator by drawing the child's seed from
+  /// this stream (advances this generator by one draw). Deterministic, but
+  /// the child depends on how far the parent has already advanced — fork all
+  /// children up-front (in a fixed order) before handing them to workers.
   Rng Fork();
+
+  /// Splits off the key-addressed child stream: the child's seed is
+  /// SplitMix64(seed ^ golden-ratio spread of `key`), a function of this
+  /// generator's *construction seed* and `key` only. Unlike Fork(), it does
+  /// not advance (or read) the parent's engine, so any number of threads may
+  /// split keys concurrently, and parallel and sequential runs that split
+  /// the same keys get identical streams. Fork(k) called twice returns the
+  /// same stream — use distinct keys (e.g. the subspace or task index) for
+  /// distinct parallel lanes, and Fork() first when a fresh base is needed
+  /// per invocation.
+  Rng Fork(uint64_t key) const;
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

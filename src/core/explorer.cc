@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/math_util.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/uis_feature.h"
 
 namespace lte::core {
@@ -121,6 +122,9 @@ Status Explorer::Pretrain(const data::Table& table,
   task_generation_seconds_ = 0.0;
   meta_training_seconds_ = 0.0;
 
+  // Phase 1 — clustering contexts and initial tuples, sequential on the
+  // caller's stream (draw-for-draw the pre-parallel path, so the Basic
+  // variant is unaffected by the offline parallelization).
   for (size_t s = 0; s < subspaces_.size(); ++s) {
     SubspaceState& state = states_[s];
     state.generator = MetaTaskGenerator(options_.task_gen);
@@ -138,25 +142,47 @@ Status Explorer::Pretrain(const data::Table& table,
       state.initial_tuples.push_back(
           ctx.sample_points[static_cast<size_t>(rng->UniformInt(n_sample))]);
     }
+  }
 
-    if (train_meta) {
-      Stopwatch sw;
-      const std::vector<MetaTask> tasks =
-          state.generator.GenerateTaskSet(options_.num_meta_tasks, rng);
-      const std::vector<EncodedMetaTask> encoded =
-          EncodeTasks(tasks, MakeEncoder(static_cast<int64_t>(s)));
-      task_generation_seconds_ += sw.ElapsedSeconds();
+  // Phase 2 — task generation + encoding + meta-training. Meta-subspaces
+  // are independent (Algorithm 2 runs once per subspace), so they fan out
+  // on the shared pool. Subspace s trains on the key-split stream
+  // fork_base.Fork(s): no lane ever touches another lane's RNG, which makes
+  // the trained model bit-identical for any num_threads, including 1.
+  if (train_meta) {
+    Rng fork_base = rng->Fork();
+    const auto n = static_cast<int64_t>(subspaces_.size());
+    std::vector<Status> statuses(static_cast<size_t>(n));
+    std::vector<double> gen_seconds(static_cast<size_t>(n), 0.0);
+    std::vector<double> train_seconds(static_cast<size_t>(n), 0.0);
+    ThreadPool::Shared().ParallelFor(
+        0, n, ResolveThreadCount(options_.num_threads), [&](int64_t s) {
+          SubspaceState& state = states_[static_cast<size_t>(s)];
+          Rng sub_rng = fork_base.Fork(static_cast<uint64_t>(s));
+          Stopwatch sw;
+          const std::vector<MetaTask> tasks =
+              state.generator.GenerateTaskSet(options_.num_meta_tasks,
+                                              &sub_rng);
+          const std::vector<EncodedMetaTask> encoded = EncodeTasks(
+              tasks, MakeEncoder(s), options_.trainer.num_threads);
+          gen_seconds[static_cast<size_t>(s)] = sw.ElapsedSeconds();
 
-      sw.Restart();
-      MetaLearnerOptions lopt = options_.learner;
-      lopt.uis_feature_dim = options_.task_gen.k_u;
-      lopt.tuple_feature_dim =
-          encoder_.ProjectedWidth(subspaces_[s].attribute_indices);
-      state.meta_learner = std::make_unique<MetaLearner>(lopt, rng);
-      MetaTrainStats stats;
-      LTE_RETURN_IF_ERROR(MetaTrain(encoded, options_.trainer, rng,
-                                    state.meta_learner.get(), &stats));
-      meta_training_seconds_ += sw.ElapsedSeconds();
+          sw.Restart();
+          MetaLearnerOptions lopt = options_.learner;
+          lopt.uis_feature_dim = options_.task_gen.k_u;
+          lopt.tuple_feature_dim = encoder_.ProjectedWidth(
+              subspaces_[static_cast<size_t>(s)].attribute_indices);
+          state.meta_learner = std::make_unique<MetaLearner>(lopt, &sub_rng);
+          MetaTrainStats stats;
+          statuses[static_cast<size_t>(s)] =
+              MetaTrain(encoded, options_.trainer, &sub_rng,
+                        state.meta_learner.get(), &stats);
+          train_seconds[static_cast<size_t>(s)] = sw.ElapsedSeconds();
+        });
+    for (int64_t s = 0; s < n; ++s) {
+      LTE_RETURN_IF_ERROR(statuses[static_cast<size_t>(s)]);
+      task_generation_seconds_ += gen_seconds[static_cast<size_t>(s)];
+      meta_training_seconds_ += train_seconds[static_cast<size_t>(s)];
     }
   }
   pretrained_ = true;

@@ -40,6 +40,13 @@ struct ExplorerOptions {
   /// |T^M|: meta-tasks generated per meta-subspace (paper default 15000;
   /// the library defaults smaller — see DESIGN.md).
   int64_t num_meta_tasks = 200;
+  /// Pool lanes for the offline phase: meta-subspaces are independent, so
+  /// task generation + encoding + meta-training fan out per subspace on the
+  /// process-wide ThreadPool. 0 = auto (one lane per hardware thread),
+  /// 1 = one subspace at a time. Every subspace trains on its own
+  /// `Rng::Fork(subspace_index)` stream, so the trained model is
+  /// bit-identical for any thread count (see rng.h for the split scheme).
+  int64_t num_threads = 0;
   /// Online fast-adaptation schedule. A larger learning rate than the
   /// offline ρ is preferred online (paper Fig. 8(d) discussion).
   int64_t online_steps = 30;
@@ -130,7 +137,9 @@ class Explorer {
   const ExplorerOptions& options() const { return options_; }
   bool meta_trained() const { return meta_trained_; }
 
-  /// Pre-training statistics (for the Figure 8(b) cost analysis).
+  /// Pre-training statistics (for the Figure 8(b) cost analysis). Summed
+  /// over subspaces, i.e. total work; with num_threads > 1 the subspaces
+  /// overlap in time, so wall clock is lower than these totals.
   double task_generation_seconds() const { return task_generation_seconds_; }
   double meta_training_seconds() const { return meta_training_seconds_; }
 

@@ -1,29 +1,30 @@
 #include "core/meta_trainer.h"
 
 #include <algorithm>
-#include <atomic>
 #include <numeric>
-#include <thread>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace lte::core {
 
 std::vector<EncodedMetaTask> EncodeTasks(const std::vector<MetaTask>& tasks,
-                                         const TupleEncoder& encoder) {
-  std::vector<EncodedMetaTask> out;
-  out.reserve(tasks.size());
-  for (const MetaTask& t : tasks) {
-    EncodedMetaTask e;
-    e.uis_feature = t.uis_feature;
-    e.support_y = t.support_labels;
-    e.query_y = t.query_labels;
-    e.support_x.reserve(t.support_points.size());
-    for (const auto& p : t.support_points) e.support_x.push_back(encoder(p));
-    e.query_x.reserve(t.query_points.size());
-    for (const auto& p : t.query_points) e.query_x.push_back(encoder(p));
-    out.push_back(std::move(e));
-  }
+                                         const TupleEncoder& encoder,
+                                         int64_t num_threads) {
+  std::vector<EncodedMetaTask> out(tasks.size());
+  ThreadPool::Shared().ParallelFor(
+      0, static_cast<int64_t>(tasks.size()), ResolveThreadCount(num_threads),
+      [&](int64_t i) {
+        const MetaTask& t = tasks[static_cast<size_t>(i)];
+        EncodedMetaTask& e = out[static_cast<size_t>(i)];
+        e.uis_feature = t.uis_feature;
+        e.support_y = t.support_labels;
+        e.query_y = t.query_labels;
+        e.support_x.reserve(t.support_points.size());
+        for (const auto& p : t.support_points) e.support_x.push_back(encoder(p));
+        e.query_x.reserve(t.query_points.size());
+        for (const auto& p : t.query_points) e.query_x.push_back(encoder(p));
+      });
   return out;
 }
 
@@ -137,24 +138,10 @@ Status MetaTrain(const std::vector<EncodedMetaTask>& tasks,
         results[static_cast<size_t>(i)].model = std::move(tm);
       };
 
-      const int64_t threads =
-          std::max<int64_t>(1, std::min(options.num_threads, batch));
-      if (threads <= 1) {
-        for (int64_t i = 0; i < batch; ++i) run_task(i);
-      } else {
-        std::atomic<int64_t> next{0};
-        std::vector<std::thread> workers;
-        workers.reserve(static_cast<size_t>(threads));
-        for (int64_t t = 0; t < threads; ++t) {
-          workers.emplace_back([&] {
-            for (int64_t i = next.fetch_add(1); i < batch;
-                 i = next.fetch_add(1)) {
-              run_task(i);
-            }
-          });
-        }
-        for (std::thread& w : workers) w.join();
-      }
+      // Fan the batch out on the shared pool (no per-batch thread spawns —
+      // batches are the inner loop of training, so wake-up cost matters).
+      ThreadPool::Shared().ParallelFor(
+          0, batch, ResolveThreadCount(options.num_threads), run_task);
 
       // Aggregate in task order (thread-count invariant), then the one-step
       // global update and the memory writes. Under FOMAML the aggregate is

@@ -27,8 +27,14 @@ struct EncodedMetaTask {
 };
 
 /// Encodes a generated task set once so every training epoch reuses it.
+/// Tasks are encoded across up to `num_threads` pool lanes (0 = auto, one
+/// lane per hardware thread; 1 = sequential). The output is identical for
+/// any thread count; `encoder` must be safe to invoke concurrently (the
+/// library's TabularEncoder::EncodeProjected binding is — it only reads the
+/// fitted state).
 std::vector<EncodedMetaTask> EncodeTasks(const std::vector<MetaTask>& tasks,
-                                         const TupleEncoder& encoder);
+                                         const TupleEncoder& encoder,
+                                         int64_t num_threads = 1);
 
 /// The meta-gradient used by the global update. The paper's framework is
 /// "orthogonal to all existing MAML-based meta-learning algorithms"
@@ -68,12 +74,14 @@ struct MetaTrainerOptions {
   double beta = 0.05;
   double gamma = 0.05;
   MetaAlgorithm algorithm = MetaAlgorithm::kFomaml;
-  /// Worker threads for the per-task local adaptations within a batch
-  /// (tasks are independent given the batch-start globals). Results are
-  /// bit-identical for any thread count: every task draws from its own
-  /// deterministically forked RNG, gradients aggregate in task order, and
-  /// memory writes apply in task order after the batch joins.
-  int64_t num_threads = 1;
+  /// Pool lanes for the per-task local adaptations within a batch (tasks
+  /// are independent given the batch-start globals), run on the process-wide
+  /// ThreadPool. 0 = auto (one lane per hardware thread), 1 = the exact
+  /// legacy sequential loop. Results are bit-identical for any thread
+  /// count: every task draws from its own deterministically forked RNG,
+  /// gradients aggregate in task order, and memory writes apply in task
+  /// order after the batch joins.
+  int64_t num_threads = 0;
 };
 
 /// Per-epoch summary returned by Train.

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
 #include <set>
+#include <string>
 
 #include "data/synthetic.h"
 
@@ -55,6 +58,33 @@ TEST_F(ExplorerTest, PretrainWithoutMetaPreparesContexts) {
   EXPECT_FALSE(ex.meta_trained());
   EXPECT_EQ(ex.InitialTuples(0).size(), 15u);  // k_s + delta.
   EXPECT_DOUBLE_EQ(ex.meta_training_seconds(), 0.0);
+}
+
+TEST_F(ExplorerTest, OfflineTrainingIsThreadCountInvariant) {
+  // The per-subspace fan-out must not change the trained model: every
+  // subspace trains on its own Rng::Fork(s) stream, so one lane and four
+  // lanes serialize to the very same bytes. (Trainer options are not part
+  // of the serialized state, so a byte comparison is exact.)
+  auto pretrain_bytes = [&](int64_t threads) {
+    ExplorerOptions opt = SmallExplorerOptions();
+    opt.num_threads = threads;
+    opt.trainer.num_threads = threads;
+    Explorer ex(opt);
+    Rng rng(23);
+    EXPECT_TRUE(
+        ex.Pretrain(table_, subspaces_, /*train_meta=*/true, &rng).ok());
+    const std::string path =
+        testing::TempDir() + "lte_threads_" + std::to_string(threads) +
+        ".ltemodel";
+    EXPECT_TRUE(ex.Save(path).ok());
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string sequential = pretrain_bytes(1);
+  const std::string parallel4 = pretrain_bytes(4);
+  ASSERT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, parallel4);
 }
 
 TEST_F(ExplorerTest, MetaVariantRequiresMetaTraining) {

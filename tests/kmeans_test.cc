@@ -104,6 +104,35 @@ TEST(KMeansTest, DuplicatePointsDoNotCrash) {
   EXPECT_EQ(res.centers.size(), 4u);
 }
 
+TEST(KMeansTest, ParallelAssignmentIsThreadCountInvariant) {
+  // The parallel assignment step must be bit-identical to the sequential
+  // one: per-point results land in per-point slots and the inertia
+  // reduction runs in point order after the lanes join.
+  Rng data_rng(31);
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 4000; ++i) {
+    pts.push_back({data_rng.Uniform(), data_rng.Uniform()});
+  }
+  auto run_with = [&](int64_t threads) {
+    KMeansOptions opt;
+    opt.k = 12;
+    opt.num_threads = threads;
+    Rng rng(99);
+    KMeansResult res;
+    EXPECT_TRUE(KMeans(pts, opt, &rng, &res).ok());
+    return res;
+  };
+  const KMeansResult seq = run_with(1);
+  const KMeansResult par = run_with(4);
+  EXPECT_EQ(seq.assignments, par.assignments);
+  EXPECT_EQ(seq.iterations, par.iterations);
+  ASSERT_EQ(seq.centers.size(), par.centers.size());
+  for (size_t c = 0; c < seq.centers.size(); ++c) {
+    ASSERT_EQ(seq.centers[c], par.centers[c]) << "center " << c;
+  }
+  EXPECT_DOUBLE_EQ(seq.inertia, par.inertia);
+}
+
 TEST(KMeansTest, OneDimensionalData) {
   Rng rng(7);
   std::vector<std::vector<double>> pts;

@@ -109,8 +109,12 @@ TEST_P(MetaTaskPropertyTest, Invariants) {
       EXPECT_TRUE(b == 0.0 || b == 1.0);
       bits += b;
     }
-    if (positives == 0.0) EXPECT_EQ(bits, 0.0);
-    if (positives > 0.0) EXPECT_GT(bits, 0.0);
+    if (positives == 0.0) {
+      EXPECT_EQ(bits, 0.0);
+    }
+    if (positives > 0.0) {
+      EXPECT_GT(bits, 0.0);
+    }
   }
 }
 

@@ -100,6 +100,37 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_NE(parent.UniformInt(1000000), child.UniformInt(1000000));
 }
 
+TEST(RngTest, KeyedForkIsAFunctionOfSeedAndKey) {
+  Rng parent(11);
+  Rng early = parent.Fork(3);
+  parent.UniformInt(100);  // Advance the parent...
+  Rng late = parent.Fork(3);
+  // ...the key-split stream must not care: same seed + same key = same
+  // stream, regardless of parent progress (that is what makes the split
+  // safe to compute concurrently from worker threads).
+  EXPECT_EQ(early.UniformInt(1 << 30), late.UniformInt(1 << 30));
+  EXPECT_EQ(early.seed(), late.seed());
+}
+
+TEST(RngTest, KeyedForkDoesNotAdvanceParent) {
+  Rng forked(11);
+  (void)forked.Fork(0);
+  (void)forked.Fork(1);
+  Rng untouched(11);
+  EXPECT_EQ(forked.UniformInt(1 << 30), untouched.UniformInt(1 << 30));
+}
+
+TEST(RngTest, KeyedForkSeparatesConsecutiveKeys) {
+  // Consecutive keys (the common case: subspace/task indices) must give
+  // well-separated streams — the SplitMix64 finalizer, not the raw key,
+  // seeds the child.
+  Rng parent(42);
+  std::vector<uint64_t> seeds;
+  for (uint64_t k = 0; k < 64; ++k) seeds.push_back(parent.Fork(k).seed());
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::unique(seeds.begin(), seeds.end()), seeds.end());
+}
+
 TEST(RngTest, ShufflePermutes) {
   Rng rng(12);
   std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
