@@ -28,6 +28,23 @@ inline bool FullScale() {
   return env != nullptr && std::string(env) == "1";
 }
 
+/// LTE_BENCH_SMOKE=1 shrinks the workload further than the default
+/// scaled-down mode and lets binaries skip their slowest sections. CI runs
+/// the benches this way on every push — as an end-to-end crash/regression
+/// check, not as a measurement.
+inline bool SmokeMode() {
+  const char* env = std::getenv("LTE_BENCH_SMOKE");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Where to write machine-readable results (empty = don't). CI sets
+/// LTE_BENCH_JSON and uploads the file as a workflow artifact so multi-core
+/// numbers are recorded per run.
+inline std::string JsonOutputPath() {
+  const char* env = std::getenv("LTE_BENCH_JSON");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
 struct Scale {
   int64_t sdss_rows;
   int64_t car_rows;

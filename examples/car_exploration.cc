@@ -83,7 +83,7 @@ int main() {
   std::vector<std::vector<double>> labels(subspaces.size());
   for (size_t s = 0; s < subspaces.size(); ++s) {
     const auto& attrs = subspaces[s].attribute_indices;
-    for (const auto& tuple : explorer.InitialTuples(static_cast<int64_t>(s))) {
+    for (const auto& tuple : *explorer.InitialTuples(static_cast<int64_t>(s))) {
       const double a0 = normalizer.Inverse(attrs[0], tuple[0]);
       const double a1 = normalizer.Inverse(attrs[1], tuple[1]);
       const bool liked =
@@ -98,14 +98,20 @@ int main() {
     return 1;
   }
 
-  // Final retrieval: print the first few predicted-interesting listings.
+  // Final retrieval: the parallel batch scan returns the predicted-
+  // interesting listings in row order.
+  std::vector<int64_t> matches;
+  status = explorer.RetrieveMatches(table, /*limit=*/-1, &matches);
+  if (!status.ok()) {
+    std::printf("retrieval failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
   std::printf("%-10s %-6s %-10s %-8s  truth\n", "price", "year", "mileage",
               "power");
   int shown = 0;
   int64_t predicted = 0;
   int64_t hit = 0;
-  for (int64_t r = 0; r < table.num_rows(); ++r) {
-    if (explorer.PredictRow(table.Row(r)) < 0.5) continue;
+  for (int64_t r : matches) {
     ++predicted;
     const std::vector<double> raw_row = raw.Row(r);
     if (BuyerLikes(raw_row)) ++hit;

@@ -117,9 +117,9 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> labels(
       static_cast<size_t>(explorer.num_subspaces()));
   for (int64_t s = 0; s < explorer.num_subspaces(); ++s) {
-    const auto& attrs = explorer.subspace(s).attribute_indices;
+    const auto& attrs = explorer.subspace(s)->attribute_indices;
     std::printf("\n-- subspace %lld --\n", static_cast<long long>(s));
-    for (const auto& tuple : explorer.InitialTuples(s)) {
+    for (const auto& tuple : *explorer.InitialTuples(s)) {
       std::vector<double> raw_values;
       for (size_t i = 0; i < attrs.size(); ++i) {
         raw_values.push_back(normalizer.Inverse(attrs[i], tuple[i]));
@@ -137,11 +137,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // --- Retrieval: top matches + the equivalent SQL filter. ---
+  // --- Retrieval: top matches + the equivalent SQL filter. The limit-
+  // bounded parallel scan stops early once ten matches are in hand. ---
   std::printf("\nbest-matching tuples:\n");
-  int shown = 0;
-  for (int64_t r = 0; r < table.num_rows() && shown < 10; ++r) {
-    if (explorer.PredictRow(table.Row(r)) < 0.5) continue;
+  std::vector<int64_t> matches;
+  s = explorer.RetrieveMatches(table, /*limit=*/10, &matches);
+  if (!s.ok()) {
+    std::printf("retrieval failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  for (int64_t r : matches) {
     const std::vector<double> raw_row = raw.Row(r);
     std::string line;
     for (size_t c = 0; c < raw_row.size(); ++c) {
@@ -149,9 +154,8 @@ int main(int argc, char** argv) {
       line += names[c] + "=" + std::to_string(raw_row[c]);
     }
     std::printf("  %s\n", line.c_str());
-    ++shown;
   }
-  if (shown == 0) std::printf("  (none)\n");
+  if (matches.empty()) std::printf("  (none)\n");
 
   lte::core::SynthesizedQuery query;
   s = lte::core::SynthesizeQuery(explorer, lte::core::QuerySynthesisOptions{},

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "core/lte.h"
 #include "data/synthetic.h"
@@ -58,7 +59,7 @@ int main() {
   }
 
   // Round 0: the standard LTE initial exploration.
-  std::vector<std::vector<double>> initial = explorer.InitialTuples(0);
+  std::vector<std::vector<double>> initial = *explorer.InitialTuples(0);
   std::vector<std::vector<double>> labelled_points = initial;
   std::vector<double> labelled_y;
   std::vector<std::vector<double>> labels(1);
@@ -76,7 +77,8 @@ int main() {
     lte::eval::ConfusionCounts counts;
     for (int64_t r = 0; r < 2000; ++r) {
       const std::vector<double> row = table.Row(r);
-      counts.Add(UserLikes(row) ? 1.0 : 0.0, explorer.PredictRow(row));
+      counts.Add(UserLikes(row) ? 1.0 : 0.0,
+                 explorer.PredictRow(row).value_or(0.0));
     }
     return lte::eval::F1Score(counts);
   };
@@ -86,10 +88,11 @@ int main() {
   // Convergence probe: a fixed row set whose prediction churn between
   // rounds tells us when to stop (ground-truth-free, paper Section III-B).
   auto probe_predictions = [&]() {
+    // The batch entry point evaluates the probe rows in one parallel pass.
+    std::vector<int64_t> probe_rows(1000);
+    std::iota(probe_rows.begin(), probe_rows.end(), 0);
     std::vector<double> preds;
-    for (int64_t r = 0; r < 1000; ++r) {
-      preds.push_back(explorer.PredictRow(table.Row(r)));
-    }
+    if (!explorer.PredictRows(table, probe_rows, &preds).ok()) preds.clear();
     return preds;
   };
   lte::eval::ConvergenceTracker tracker(/*churn_threshold=*/0.01,
@@ -105,7 +108,9 @@ int main() {
   for (int round = 1; round <= 5; ++round) {
     std::vector<std::vector<double>> candidates;
     for (int64_t r = 0; r < 4000; ++r) candidates.push_back(table.Row(r));
-    for (int64_t idx : explorer.SuggestTuples(0, candidates, 10)) {
+    std::vector<int64_t> picked;
+    if (!explorer.SuggestTuples(0, candidates, 10, &picked).ok()) return 1;
+    for (int64_t idx : picked) {
       const std::vector<double>& row = candidates[static_cast<size_t>(idx)];
       labelled_points.push_back(row);
       labelled_y.push_back(UserLikes(row) ? 1.0 : 0.0);

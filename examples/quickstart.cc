@@ -75,7 +75,7 @@ int main() {
   };
   std::vector<std::vector<double>> labels(subspaces.size());
   for (size_t s = 0; s < subspaces.size(); ++s) {
-    for (const auto& tuple : explorer.InitialTuples(static_cast<int64_t>(s))) {
+    for (const auto& tuple : *explorer.InitialTuples(static_cast<int64_t>(s))) {
       labels[s].push_back(user_likes(s, tuple) ? 1.0 : 0.0);
     }
     std::printf("subspace %zu: user labelled %zu initial tuples\n", s,
@@ -103,7 +103,7 @@ int main() {
       }
       truth = truth && user_likes(s, p);
     }
-    const bool pred = explorer.PredictRow(row) > 0.5;
+    const bool pred = explorer.PredictRow(row).value_or(0.0) > 0.5;
     predicted += pred ? 1 : 0;
     actually += truth ? 1 : 0;
     correct_positive += (pred && truth) ? 1 : 0;

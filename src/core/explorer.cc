@@ -1,6 +1,7 @@
 #include "core/explorer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <fstream>
 #include <utility>
@@ -78,25 +79,20 @@ Status LoadOptions(BinaryReader* r, ExplorerOptions* opt) {
 
 }  // namespace
 
-const data::Subspace& Explorer::subspace(int64_t s) const {
-  LTE_CHECK_GE(s, 0);
-  LTE_CHECK_LT(s, num_subspaces());
-  return subspaces_[static_cast<size_t>(s)];
+const data::Subspace* Explorer::subspace(int64_t s) const {
+  if (s < 0 || s >= num_subspaces()) return nullptr;
+  return &subspaces_[static_cast<size_t>(s)];
 }
 
-const std::vector<std::vector<double>>& Explorer::InitialTuples(
+const std::vector<std::vector<double>>* Explorer::InitialTuples(
     int64_t s) const {
-  LTE_CHECK_MSG(pretrained_, "InitialTuples before Pretrain");
-  LTE_CHECK_GE(s, 0);
-  LTE_CHECK_LT(s, num_subspaces());
-  return states_[static_cast<size_t>(s)].initial_tuples;
+  if (!pretrained_ || s < 0 || s >= num_subspaces()) return nullptr;
+  return &states_[static_cast<size_t>(s)].initial_tuples;
 }
 
-const MetaTaskGenerator& Explorer::generator(int64_t s) const {
-  LTE_CHECK_MSG(pretrained_, "generator before Pretrain");
-  LTE_CHECK_GE(s, 0);
-  LTE_CHECK_LT(s, num_subspaces());
-  return states_[static_cast<size_t>(s)].generator;
+const MetaTaskGenerator* Explorer::generator(int64_t s) const {
+  if (!pretrained_ || s < 0 || s >= num_subspaces()) return nullptr;
+  return &states_[static_cast<size_t>(s)].generator;
 }
 
 TupleEncoder Explorer::MakeEncoder(int64_t s) const {
@@ -206,54 +202,72 @@ Status Explorer::StartExploration(
     return Status::FailedPrecondition(
         "explorer: meta variant requires Pretrain(train_meta=true)");
   }
-  variant_ = variant;
-  active_count_ = static_cast<int64_t>(labels_per_subspace.size());
-
+  if (rng == nullptr) {
+    return Status::InvalidArgument("explorer: rng must not be null");
+  }
+  // Validate every label set before mutating any online state, so a failed
+  // call leaves the previous exploration intact.
   for (size_t s = 0; s < labels_per_subspace.size(); ++s) {
-    SubspaceState& state = states_[s];
-    const std::vector<double>& labels = labels_per_subspace[s];
-    if (labels.size() != state.initial_tuples.size()) {
+    if (labels_per_subspace[s].size() != states_[s].initial_tuples.size()) {
       return Status::InvalidArgument(
           "explorer: label count mismatch in subspace " + std::to_string(s));
     }
-    const SubspaceContext& ctx = state.generator.context();
-    const auto k_s = static_cast<size_t>(state.generator.options().k_s);
-
-    // v_R from the center labels (first k_s entries).
-    const std::vector<double> center_labels(labels.begin(),
-                                            labels.begin() + k_s);
-    const std::vector<double> uis_feature = BuildUisFeature(
-        center_labels, ctx.proximity_s, state.generator.expansion_l());
-
-    // Basic trains the same architecture from scratch; Meta/Meta* adapt the
-    // meta-learned initialization (the underlined path of Algorithm 2).
-    std::unique_ptr<MetaLearner> basic_learner;
-    const MetaLearner* learner = state.meta_learner.get();
-    if (variant == Variant::kBasic) {
-      MetaLearnerOptions lopt = options_.learner;
-      lopt.uis_feature_dim = options_.task_gen.k_u;
-      lopt.tuple_feature_dim = encoder_.ProjectedWidth(
-          subspaces_[s].attribute_indices);
-      lopt.use_memory = false;
-      basic_learner = std::make_unique<MetaLearner>(lopt, rng);
-      learner = basic_learner.get();
-    }
-    state.task_model =
-        std::make_unique<TaskModel>(learner->CreateTaskModel(uis_feature));
-
-    const TupleEncoder encode = MakeEncoder(static_cast<int64_t>(s));
-    std::vector<std::vector<double>> x;
-    x.reserve(state.initial_tuples.size());
-    for (const auto& p : state.initial_tuples) x.push_back(encode(p));
-    LocallyAdapt(state.task_model.get(), x, labels, options_.online_steps,
-                 options_.online_batch_size, options_.online_lr, rng);
-
-    if (variant == Variant::kMetaStar) {
-      state.fpfn.emplace(ctx, center_labels, options_.fpfn);
-    } else {
-      state.fpfn.reset();
-    }
   }
+  variant_ = variant;
+  active_count_ = static_cast<int64_t>(labels_per_subspace.size());
+
+  // Subspaces adapt independently, so they fan out on the shared pool under
+  // the same determinism contract as Pretrain: subspace s draws only from
+  // the key-split stream fork_base.Fork(s), and every lane writes its own
+  // states_[s] slot, so the adapted models are bit-identical for any
+  // num_threads, including 1.
+  Rng fork_base = rng->Fork();
+  ThreadPool::Shared().ParallelFor(
+      0, active_count_, ResolveThreadCount(options_.num_threads),
+      [&](int64_t si) {
+        const auto s = static_cast<size_t>(si);
+        SubspaceState& state = states_[s];
+        Rng sub_rng = fork_base.Fork(static_cast<uint64_t>(si));
+        const std::vector<double>& labels = labels_per_subspace[s];
+        const SubspaceContext& ctx = state.generator.context();
+        const auto k_s = static_cast<size_t>(state.generator.options().k_s);
+
+        // v_R from the center labels (first k_s entries).
+        const std::vector<double> center_labels(labels.begin(),
+                                                labels.begin() + k_s);
+        const std::vector<double> uis_feature = BuildUisFeature(
+            center_labels, ctx.proximity_s, state.generator.expansion_l());
+
+        // Basic trains the same architecture from scratch; Meta/Meta* adapt
+        // the meta-learned initialization (the underlined path of
+        // Algorithm 2).
+        std::unique_ptr<MetaLearner> basic_learner;
+        const MetaLearner* learner = state.meta_learner.get();
+        if (variant == Variant::kBasic) {
+          MetaLearnerOptions lopt = options_.learner;
+          lopt.uis_feature_dim = options_.task_gen.k_u;
+          lopt.tuple_feature_dim = encoder_.ProjectedWidth(
+              subspaces_[s].attribute_indices);
+          lopt.use_memory = false;
+          basic_learner = std::make_unique<MetaLearner>(lopt, &sub_rng);
+          learner = basic_learner.get();
+        }
+        state.task_model =
+            std::make_unique<TaskModel>(learner->CreateTaskModel(uis_feature));
+
+        const TupleEncoder encode = MakeEncoder(si);
+        std::vector<std::vector<double>> x;
+        x.reserve(state.initial_tuples.size());
+        for (const auto& p : state.initial_tuples) x.push_back(encode(p));
+        LocallyAdapt(state.task_model.get(), x, labels, options_.online_steps,
+                     options_.online_batch_size, options_.online_lr, &sub_rng);
+
+        if (variant == Variant::kMetaStar) {
+          state.fpfn.emplace(ctx, center_labels, options_.fpfn);
+        } else {
+          state.fpfn.reset();
+        }
+      });
   // Clear stale online state beyond the active prefix.
   for (size_t s = labels_per_subspace.size(); s < states_.size(); ++s) {
     states_[s].task_model.reset();
@@ -262,18 +276,112 @@ Status Explorer::StartExploration(
   return Status::OK();
 }
 
-
-std::vector<int64_t> Explorer::RetrieveMatches(const data::Table& table,
-                                               int64_t limit) const {
-  LTE_CHECK_MSG(active_count_ > 0, "RetrieveMatches before StartExploration");
-  std::vector<int64_t> matches;
-  for (int64_t r = 0; r < table.num_rows(); ++r) {
-    if (PredictRow(table.Row(r)) > 0.5) {
-      matches.push_back(r);
-      if (limit > 0 && static_cast<int64_t>(matches.size()) >= limit) break;
+Status Explorer::ValidateServing(const data::Table& table) const {
+  if (active_count_ <= 0) {
+    return Status::FailedPrecondition(
+        "explorer: RetrieveMatches/PredictRows before StartExploration");
+  }
+  for (int64_t s = 0; s < active_count_; ++s) {
+    for (int64_t a : subspaces_[static_cast<size_t>(s)].attribute_indices) {
+      if (a >= table.num_columns()) {
+        return Status::InvalidArgument(
+            "explorer: table is narrower than subspace " + std::to_string(s) +
+            " (needs attribute " + std::to_string(a) + ")");
+      }
     }
   }
-  return matches;
+  return Status::OK();
+}
+
+double Explorer::PredictRowInTable(const data::Table& table,
+                                   int64_t r) const {
+  for (int64_t s = 0; s < active_count_; ++s) {
+    const std::vector<double> point = table.RowProjected(
+        r, subspaces_[static_cast<size_t>(s)].attribute_indices);
+    if (PredictSubspaceUnchecked(s, point) < 0.5) return 0.0;
+  }
+  return 1.0;
+}
+
+Status Explorer::PredictRows(const data::Table& table,
+                             std::span<const int64_t> rows,
+                             std::vector<double>* predictions) const {
+  if (predictions == nullptr) {
+    return Status::InvalidArgument("explorer: predictions must not be null");
+  }
+  LTE_RETURN_IF_ERROR(ValidateServing(table));
+  for (int64_t r : rows) {
+    if (r < 0 || r >= table.num_rows()) {
+      return Status::OutOfRange("explorer: row index " + std::to_string(r) +
+                                " outside [0, " +
+                                std::to_string(table.num_rows()) + ")");
+    }
+  }
+  const auto n = static_cast<int64_t>(rows.size());
+  predictions->assign(rows.size(), 0.0);
+  // Contiguous lanes writing disjoint per-index slots: bit-identical output
+  // at any thread count.
+  ThreadPool::Shared().ParallelForShards(
+      0, n, ResolveThreadCount(options_.num_threads),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          (*predictions)[static_cast<size_t>(i)] =
+              PredictRowInTable(table, rows[static_cast<size_t>(i)]);
+        }
+      });
+  return Status::OK();
+}
+
+Status Explorer::RetrieveMatches(const data::Table& table, int64_t limit,
+                                 std::vector<int64_t>* matches) const {
+  if (matches == nullptr) {
+    return Status::InvalidArgument("explorer: matches must not be null");
+  }
+  matches->clear();
+  LTE_RETURN_IF_ERROR(ValidateServing(table));
+  if (limit == 0) return Status::OK();  // Only limit < 0 means "unlimited".
+  const int64_t num_rows = table.num_rows();
+  if (num_rows == 0) return Status::OK();
+
+  // Order-preserving chunked scan. Chunk boundaries depend only on the row
+  // count, lanes collect match indices into per-chunk slots, and the slots
+  // are concatenated in row order afterwards, so the result is bit-identical
+  // at any thread count. With a positive limit, lanes stop claiming chunks
+  // once the matches found so far already cover it: chunks are claimed in
+  // increasing order, so every match found lies in a chunk that precedes
+  // all unclaimed ones — the first `limit` matches in row order are already
+  // in hand, and later chunks cannot contribute earlier rows.
+  constexpr int64_t kChunkRows = 1024;
+  const int64_t num_chunks = (num_rows + kChunkRows - 1) / kChunkRows;
+  std::vector<std::vector<int64_t>> chunk_matches(
+      static_cast<size_t>(num_chunks));
+  std::atomic<int64_t> found{0};
+  ThreadPool::Shared().ParallelForEarlyExit(
+      num_chunks, ResolveThreadCount(options_.num_threads),
+      [&](int64_t c) {
+        const int64_t lo = c * kChunkRows;
+        const int64_t hi = std::min(lo + kChunkRows, num_rows);
+        std::vector<int64_t>& slot = chunk_matches[static_cast<size_t>(c)];
+        for (int64_t r = lo; r < hi; ++r) {
+          if (PredictRowInTable(table, r) > 0.5) slot.push_back(r);
+        }
+        if (!slot.empty()) {
+          found.fetch_add(static_cast<int64_t>(slot.size()),
+                          std::memory_order_relaxed);
+        }
+      },
+      [&] {
+        return limit > 0 && found.load(std::memory_order_relaxed) >= limit;
+      });
+  for (const std::vector<int64_t>& slot : chunk_matches) {
+    for (int64_t r : slot) {
+      matches->push_back(r);
+      if (limit > 0 && static_cast<int64_t>(matches->size()) >= limit) {
+        return Status::OK();
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Status Explorer::Save(const std::string& path) const {
@@ -325,6 +433,11 @@ Status Explorer::LoadModel(const std::string& path) {
   }
   ExplorerOptions options;
   LTE_RETURN_IF_ERROR(LoadOptions(&r, &options));
+  // Threading is a serving-host knob, not model state: keep the values this
+  // instance was constructed with (neither is serialized — LoadOptions
+  // leaves them at their defaults).
+  options.num_threads = options_.num_threads;
+  options.trainer.num_threads = options_.trainer.num_threads;
   preprocess::TabularEncoder encoder;
   LTE_RETURN_IF_ERROR(encoder.Load(&r));
   bool meta_trained = false;
@@ -374,28 +487,42 @@ Status Explorer::LoadModel(const std::string& path) {
   return Status::OK();
 }
 
-std::vector<int64_t> Explorer::SuggestTuples(
-    int64_t s, const std::vector<std::vector<double>>& candidates,
-    int64_t k) const {
-  LTE_CHECK_GE(s, 0);
-  LTE_CHECK_LT(s, active_count_);
+Status Explorer::SuggestTuples(
+    int64_t s, const std::vector<std::vector<double>>& candidates, int64_t k,
+    std::vector<int64_t>* suggested) const {
+  if (suggested == nullptr) {
+    return Status::InvalidArgument("explorer: suggested must not be null");
+  }
+  suggested->clear();
+  if (s < 0 || s >= active_count_ ||
+      states_[static_cast<size_t>(s)].task_model == nullptr) {
+    return Status::FailedPrecondition(
+        "explorer: SuggestTuples on subspace " + std::to_string(s) +
+        " before StartExploration adapted it");
+  }
+  if (k < 0) {
+    return Status::InvalidArgument("explorer: k must be >= 0");
+  }
   const SubspaceState& state = states_[static_cast<size_t>(s)];
-  LTE_CHECK_MSG(state.task_model != nullptr,
-                "SuggestTuples before StartExploration");
   const std::vector<int64_t>& attrs =
       subspaces_[static_cast<size_t>(s)].attribute_indices;
   std::vector<double> uncertainty;
   uncertainty.reserve(candidates.size());
   for (const auto& point : candidates) {
+    if (point.size() != attrs.size()) {
+      return Status::InvalidArgument(
+          "explorer: candidate width mismatch in subspace " +
+          std::to_string(s));
+    }
     const double p = state.task_model->PredictProbability(
         encoder_.EncodeProjected(point, attrs));
     uncertainty.push_back(std::abs(p - 0.5));
   }
   const size_t take =
-      std::min(static_cast<size_t>(std::max<int64_t>(k, 0)),
-               candidates.size());
+      std::min(static_cast<size_t>(k), candidates.size());
   const std::vector<size_t> idx = ArgSmallestK(uncertainty, take);
-  return std::vector<int64_t>(idx.begin(), idx.end());
+  suggested->assign(idx.begin(), idx.end());
+  return Status::OK();
 }
 
 Status Explorer::ContinueExploration(
@@ -406,6 +533,14 @@ Status Explorer::ContinueExploration(
   }
   if (points.empty() || points.size() != labels.size()) {
     return Status::InvalidArgument("explorer: points/labels mismatch");
+  }
+  const size_t width =
+      subspaces_[static_cast<size_t>(s)].attribute_indices.size();
+  for (const auto& p : points) {
+    if (p.size() != width) {
+      return Status::InvalidArgument(
+          "explorer: point width mismatch in subspace " + std::to_string(s));
+    }
   }
   SubspaceState& state = states_[static_cast<size_t>(s)];
   if (state.task_model == nullptr) {
@@ -421,13 +556,9 @@ Status Explorer::ContinueExploration(
   return Status::OK();
 }
 
-double Explorer::PredictSubspace(int64_t s,
-                                 const std::vector<double>& point) const {
-  LTE_CHECK_GE(s, 0);
-  LTE_CHECK_LT(s, num_subspaces());
+double Explorer::PredictSubspaceUnchecked(
+    int64_t s, const std::vector<double>& point) const {
   const SubspaceState& state = states_[static_cast<size_t>(s)];
-  LTE_CHECK_MSG(state.task_model != nullptr,
-                "PredictSubspace before StartExploration");
   const std::vector<double> encoded = encoder_.EncodeProjected(
       point, subspaces_[static_cast<size_t>(s)].attribute_indices);
   double pred =
@@ -436,15 +567,29 @@ double Explorer::PredictSubspace(int64_t s,
   return pred;
 }
 
-double Explorer::PredictRow(const std::vector<double>& row) const {
-  LTE_CHECK_MSG(active_count_ > 0, "PredictRow before StartExploration");
+std::optional<double> Explorer::PredictSubspace(
+    int64_t s, const std::vector<double>& point) const {
+  if (s < 0 || s >= num_subspaces() ||
+      states_[static_cast<size_t>(s)].task_model == nullptr) {
+    return std::nullopt;
+  }
+  if (point.size() !=
+      subspaces_[static_cast<size_t>(s)].attribute_indices.size()) {
+    return std::nullopt;
+  }
+  return PredictSubspaceUnchecked(s, point);
+}
+
+std::optional<double> Explorer::PredictRow(
+    const std::vector<double>& row) const {
+  if (active_count_ <= 0) return std::nullopt;
   for (int64_t s = 0; s < active_count_; ++s) {
     std::vector<double> point;
     for (int64_t a : subspaces_[static_cast<size_t>(s)].attribute_indices) {
-      LTE_CHECK_LT(static_cast<size_t>(a), row.size());
+      if (static_cast<size_t>(a) >= row.size()) return std::nullopt;
       point.push_back(row[static_cast<size_t>(a)]);
     }
-    if (PredictSubspace(s, point) < 0.5) return 0.0;
+    if (PredictSubspaceUnchecked(s, point) < 0.5) return 0.0;
   }
   return 1.0;
 }

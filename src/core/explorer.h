@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -40,12 +41,16 @@ struct ExplorerOptions {
   /// |T^M|: meta-tasks generated per meta-subspace (paper default 15000;
   /// the library defaults smaller — see DESIGN.md).
   int64_t num_meta_tasks = 200;
-  /// Pool lanes for the offline phase: meta-subspaces are independent, so
-  /// task generation + encoding + meta-training fan out per subspace on the
-  /// process-wide ThreadPool. 0 = auto (one lane per hardware thread),
-  /// 1 = one subspace at a time. Every subspace trains on its own
-  /// `Rng::Fork(subspace_index)` stream, so the trained model is
-  /// bit-identical for any thread count (see rng.h for the split scheme).
+  /// Pool lanes for every Explorer fan-out, offline and online: per-subspace
+  /// task generation + encoding + meta-training in `Pretrain`, per-subspace
+  /// fast adaptation in `StartExploration`, and the chunked table scans of
+  /// `PredictRows`/`RetrieveMatches` all share this one knob on the
+  /// process-wide ThreadPool. The library-wide convention applies: 0 = auto
+  /// (one lane per hardware thread), 1 = the exact sequential path, N caps
+  /// the lanes (matching `MetaTrainerOptions`/`KMeansOptions`). Parallel
+  /// training reads key-split `Rng::Fork(subspace_index)` streams and scans
+  /// collect into per-chunk slots concatenated in row order, so every result
+  /// is bit-identical at any thread count (see rng.h for the split scheme).
   int64_t num_threads = 0;
   /// Online fast-adaptation schedule. A larger learning rate than the
   /// offline ρ is preferred online (paper Fig. 8(d) discussion).
@@ -60,9 +65,15 @@ struct ExplorerOptions {
 /// Usage:
 ///   Explorer ex(options);
 ///   ex.Pretrain(table, subspaces, /*train_meta=*/true, &rng);
-///   // Collect user labels for ex.InitialTuples(s) in every subspace s...
+///   // Collect user labels for *ex.InitialTuples(s) in every subspace s...
 ///   ex.StartExploration(labels, Variant::kMetaStar, &rng);
 ///   bool interesting = ex.PredictRow(row) > 0.5;
+///
+/// Misuse-error contract: the query surface never aborts on out-of-range or
+/// premature calls. Accessors taking a subspace index return nullptr,
+/// predictions return std::nullopt, and the batch/retrieval entry points
+/// return a Status — an LTE_CHECK abort is reachable only through genuine
+/// internal invariant violations, not through caller mistakes.
 class Explorer {
  public:
   explicit Explorer(ExplorerOptions options) : options_(options) {}
@@ -78,21 +89,30 @@ class Explorer {
   int64_t num_subspaces() const {
     return static_cast<int64_t>(subspaces_.size());
   }
-  const data::Subspace& subspace(int64_t s) const;
+
+  /// The `s`-th meta-subspace, or nullptr when `s` is out of
+  /// [0, num_subspaces()).
+  const data::Subspace* subspace(int64_t s) const;
 
   /// The tuples of subspace `s` the user labels during initial exploration:
   /// the k_s cluster centers of C^s followed by Δ random tuples, in raw
-  /// subspace coordinates. Fixed after Pretrain.
-  const std::vector<std::vector<double>>& InitialTuples(int64_t s) const;
+  /// subspace coordinates. Fixed after Pretrain. Returns nullptr before
+  /// Pretrain or when `s` is out of range.
+  const std::vector<std::vector<double>>* InitialTuples(int64_t s) const;
 
   /// Online phase: `labels_per_subspace[s][i]` is the 0/1 label of
-  /// InitialTuples(s)[i]. Fast-adapts a task model per subspace (and builds
-  /// the FP/FN optimizer for Meta*). Providing labels for only the first k
-  /// subspaces explores a k-subspace prefix of the interest space (the
-  /// dimensionality sweeps of the paper's Figures 4 and 7(c) use this);
+  /// (*InitialTuples(s))[i]. Fast-adapts a task model per subspace (and
+  /// builds the FP/FN optimizer for Meta*). Providing labels for only the
+  /// first k subspaces explores a k-subspace prefix of the interest space
+  /// (the dimensionality sweeps of the paper's Figures 4 and 7(c) use this);
   /// PredictRow then conjoins only those subspaces. Fails if Pretrain has
   /// not run, label shapes mismatch, or a meta variant is requested without
   /// meta-training.
+  ///
+  /// Subspaces adapt in parallel lanes capped by `options().num_threads`;
+  /// subspace s trains on its own `Rng::Fork(s)` stream split from one
+  /// `rng->Fork()` base, so the adapted models are bit-identical at any
+  /// thread count (rng itself advances by exactly one draw).
   Status StartExploration(
       const std::vector<std::vector<double>>& labels_per_subspace,
       Variant variant, Rng* rng);
@@ -102,12 +122,14 @@ class Explorer {
 
   /// Active-learning hook (paper Section III-B "Iterative exploration"):
   /// ranks `candidates` (raw subspace-`s` points) by the adapted
-  /// classifier's uncertainty — probability closest to 0.5 — and returns the
-  /// indices of the `k` tuples most worth asking the user about next.
-  /// Requires StartExploration to have adapted subspace `s`.
-  std::vector<int64_t> SuggestTuples(
-      int64_t s, const std::vector<std::vector<double>>& candidates,
-      int64_t k) const;
+  /// classifier's uncertainty — probability closest to 0.5 — and stores the
+  /// indices of the `k` tuples most worth asking the user about next in
+  /// `*suggested` (fewer when `candidates` is smaller than `k`). Fails if
+  /// StartExploration has not adapted subspace `s`, `k` is negative, or a
+  /// candidate's width differs from the subspace's.
+  Status SuggestTuples(int64_t s,
+                       const std::vector<std::vector<double>>& candidates,
+                       int64_t k, std::vector<int64_t>* suggested) const;
 
   /// Iterative exploration (paper Section III-B, "Other IDE Modules"):
   /// feeds additional labelled tuples of subspace `s` (raw subspace
@@ -118,21 +140,45 @@ class Explorer {
                              const std::vector<std::vector<double>>& points,
                              const std::vector<double>& labels, Rng* rng);
 
-  /// 1.0 when the adapted models consider the subspace point interesting.
-  double PredictSubspace(int64_t s, const std::vector<double>& point) const;
+  /// 1.0 when the adapted models consider the subspace point interesting,
+  /// 0.0 when not; std::nullopt when `s` is out of range, subspace `s` has
+  /// not been adapted by StartExploration, or `point`'s width differs from
+  /// the subspace's.
+  std::optional<double> PredictSubspace(int64_t s,
+                                        const std::vector<double>& point) const;
 
   /// Conjunctive UIR membership of a full-width table row (paper Section
-  /// III-A: R^u = ∧ R_i).
-  double PredictRow(const std::vector<double>& row) const;
+  /// III-A: R^u = ∧ R_i): 1.0 / 0.0, or std::nullopt before
+  /// StartExploration or when `row` is too narrow for an active subspace.
+  std::optional<double> PredictRow(const std::vector<double>& row) const;
 
-  /// Final retrieval (paper Section III-B): scans `table` and returns the
-  /// row indices the adapted classifiers predict interesting, in row order,
-  /// stopping after `limit` matches (limit <= 0 scans everything).
-  std::vector<int64_t> RetrieveMatches(const data::Table& table,
-                                       int64_t limit = -1) const;
+  /// Batch counterpart of PredictRow and the primitive RetrieveMatches and
+  /// the bench harness build on: evaluates the conjunctive membership of the
+  /// given `rows` of `table` and stores one 0.0/1.0 per index (in input
+  /// order) in `*predictions`. Rows are scanned in parallel lanes capped by
+  /// `options().num_threads`, each lane writing disjoint per-index slots, so
+  /// the output is bit-identical at any thread count. Fails before
+  /// StartExploration, when `table` is narrower than an active subspace's
+  /// attributes, or on an out-of-range row index.
+  Status PredictRows(const data::Table& table, std::span<const int64_t> rows,
+                     std::vector<double>* predictions) const;
 
-  /// Per-subspace generator (exposes the clustering context).
-  const MetaTaskGenerator& generator(int64_t s) const;
+  /// Final retrieval (paper Section III-B): scans `table` and stores the row
+  /// indices the adapted classifiers predict interesting — in ascending row
+  /// order — in `*matches`. `limit < 0` scans everything, `limit == 0`
+  /// returns an empty result, and `limit > 0` truncates to the first `limit`
+  /// matches in row order. The scan is chunked across parallel lanes capped
+  /// by `options().num_threads`; lanes collect into per-chunk slots that are
+  /// concatenated in row order, and with a positive `limit` lanes stop
+  /// claiming chunks once the matches already found cover it, so the result
+  /// is bit-identical at any thread count. Fails before StartExploration or
+  /// when `table` is narrower than an active subspace's attributes.
+  Status RetrieveMatches(const data::Table& table, int64_t limit,
+                         std::vector<int64_t>* matches) const;
+
+  /// Per-subspace generator (exposes the clustering context), or nullptr
+  /// before Pretrain or when `s` is out of range.
+  const MetaTaskGenerator* generator(int64_t s) const;
   const preprocess::TabularEncoder& encoder() const { return encoder_; }
   const ExplorerOptions& options() const { return options_; }
   bool meta_trained() const { return meta_trained_; }
@@ -151,7 +197,9 @@ class Explorer {
 
   /// Restores a pre-trained Explorer saved by Save, replacing this
   /// instance's state. Online exploration (StartExploration/PredictRow) is
-  /// available immediately; no re-clustering or re-training happens.
+  /// available immediately; no re-clustering or re-training happens. The
+  /// threading knob (`num_threads`) is a property of the serving host, not
+  /// of the model, so the constructed value survives the load.
   Status LoadModel(const std::string& path);
 
  private:
@@ -165,6 +213,18 @@ class Explorer {
   };
 
   TupleEncoder MakeEncoder(int64_t s) const;
+
+  /// FailedPrecondition before StartExploration; InvalidArgument when
+  /// `table` is narrower than an active subspace's attribute indices.
+  Status ValidateServing(const data::Table& table) const;
+
+  /// PredictSubspace body minus the misuse checks (callers validated).
+  double PredictSubspaceUnchecked(int64_t s,
+                                  const std::vector<double>& point) const;
+
+  /// Conjunctive membership of row `r` of `table`; equals
+  /// *PredictRow(table.Row(r)) once ValidateServing(table) passed.
+  double PredictRowInTable(const data::Table& table, int64_t r) const;
 
   ExplorerOptions options_;
   preprocess::TabularEncoder encoder_;

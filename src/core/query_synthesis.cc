@@ -101,18 +101,29 @@ Status SynthesizeQuery(const Explorer& explorer,
   }
   SynthesizedQuery out;
   for (int64_t s = 0; s < explorer.active_subspaces(); ++s) {
+    const data::Subspace* subspace = explorer.subspace(s);
+    const MetaTaskGenerator* generator = explorer.generator(s);
+    if (subspace == nullptr || generator == nullptr) {
+      return Status::Internal("query synthesis: active subspace " +
+                              std::to_string(s) + " has no state");
+    }
     SubspaceClause clause;
-    clause.attributes = explorer.subspace(s).attribute_indices;
+    clause.attributes = subspace->attribute_indices;
     const auto dim = clause.attributes.size();
 
     // Label the clustering sample with the adapted classifier.
     const std::vector<std::vector<double>>& points =
-        explorer.generator(s).context().sample_points;
+        generator->context().sample_points;
     std::vector<double> labels;
     labels.reserve(points.size());
     int64_t positives = 0;
     for (const auto& p : points) {
-      const double y = explorer.PredictSubspace(s, p);
+      const std::optional<double> pred = explorer.PredictSubspace(s, p);
+      if (!pred.has_value()) {
+        return Status::Internal("query synthesis: prediction unavailable in "
+                                "active subspace " + std::to_string(s));
+      }
+      const double y = *pred;
       positives += y > 0.5 ? 1 : 0;
       labels.push_back(y);
     }

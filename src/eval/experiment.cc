@@ -126,7 +126,7 @@ Status ExperimentRunner::RunLte(core::Variant variant,
   std::vector<std::vector<double>> labels(static_cast<size_t>(active));
   int64_t labels_used = 0;
   for (int64_t s = 0; s < active; ++s) {
-    for (const auto& tuple : ex.InitialTuples(s)) {
+    for (const auto& tuple : *ex.InitialTuples(s)) {
       labels[static_cast<size_t>(s)].push_back(MaybeFlip(
           uir.ContainsSubspacePoint(s, tuple) ? 1.0 : 0.0,
           options_.label_noise, &rng_));
@@ -138,7 +138,10 @@ Status ExperimentRunner::RunLte(core::Variant variant,
   LTE_RETURN_IF_ERROR(ex.StartExploration(labels, variant, &rng_));
   result->online_seconds = sw.ElapsedSeconds();
   result->labels_used = labels_used;
-  Score(uir, [&ex](const std::vector<double>& row) { return ex.PredictRow(row); },
+  Score(uir,
+        [&ex](const std::vector<double>& row) {
+          return ex.PredictRow(row).value_or(0.0);
+        },
         result);
   return Status::OK();
 }
@@ -160,7 +163,7 @@ Status ExperimentRunner::RunSubspaceSvm(bool encoded,
   for (int64_t s = 0; s < active; ++s) {
     std::vector<std::vector<double>> x;
     std::vector<double> y;
-    for (const auto& tuple : ex.InitialTuples(s)) {
+    for (const auto& tuple : *ex.InitialTuples(s)) {
       x.push_back(encoded ? ex.encoder().EncodeProjected(
                                 tuple, uir.subspaces[static_cast<size_t>(s)]
                                            .attribute_indices)

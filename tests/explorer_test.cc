@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <iterator>
+#include <numeric>
 #include <set>
 #include <string>
 
@@ -56,7 +58,8 @@ TEST_F(ExplorerTest, PretrainWithoutMetaPreparesContexts) {
                   .ok());
   EXPECT_EQ(ex.num_subspaces(), 2);
   EXPECT_FALSE(ex.meta_trained());
-  EXPECT_EQ(ex.InitialTuples(0).size(), 15u);  // k_s + delta.
+  ASSERT_NE(ex.InitialTuples(0), nullptr);
+  EXPECT_EQ(ex.InitialTuples(0)->size(), 15u);  // k_s + delta.
   EXPECT_DOUBLE_EQ(ex.meta_training_seconds(), 0.0);
 }
 
@@ -93,7 +96,7 @@ TEST_F(ExplorerTest, MetaVariantRequiresMetaTraining) {
       ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
   std::vector<std::vector<double>> labels(2);
   for (int s = 0; s < 2; ++s) {
-    labels[static_cast<size_t>(s)].assign(ex.InitialTuples(s).size(), 0.0);
+    labels[static_cast<size_t>(s)].assign(ex.InitialTuples(s)->size(), 0.0);
     labels[static_cast<size_t>(s)][0] = 1.0;
   }
   const Status status =
@@ -113,7 +116,7 @@ TEST_F(ExplorerTest, EndToEndBasicExploration) {
   const double median0 = 0.5 * (table_.column(0).min() + table_.column(0).max());
   std::vector<std::vector<double>> labels(2);
   for (int s = 0; s < 2; ++s) {
-    for (const auto& tuple : ex.InitialTuples(s)) {
+    for (const auto& tuple : *ex.InitialTuples(s)) {
       const bool interesting = s == 0 ? tuple[0] < median0 : true;
       labels[static_cast<size_t>(s)].push_back(interesting ? 1.0 : 0.0);
     }
@@ -123,7 +126,7 @@ TEST_F(ExplorerTest, EndToEndBasicExploration) {
 
   // Prediction shape checks on arbitrary rows.
   for (int64_t r = 0; r < 10; ++r) {
-    const double p = ex.PredictRow(table_.Row(r));
+    const double p = ex.PredictRow(table_.Row(r)).value_or(-1.0);
     EXPECT_TRUE(p == 0.0 || p == 1.0);
   }
 }
@@ -138,19 +141,19 @@ TEST_F(ExplorerTest, MetaAndMetaStarExploration) {
 
   std::vector<std::vector<double>> labels(2);
   for (int s = 0; s < 2; ++s) {
-    for (const auto& tuple : ex.InitialTuples(s)) {
+    for (const auto& tuple : *ex.InitialTuples(s)) {
       labels[static_cast<size_t>(s)].push_back(tuple[0] < 5.0 ? 1.0 : 0.0);
     }
   }
   ASSERT_TRUE(ex.StartExploration(labels, Variant::kMeta, rng_.get()).ok());
-  const double meta_pred = ex.PredictRow(table_.Row(0));
+  const double meta_pred = ex.PredictRow(table_.Row(0)).value_or(-1.0);
   EXPECT_TRUE(meta_pred == 0.0 || meta_pred == 1.0);
 
   ASSERT_TRUE(
       ex.StartExploration(labels, Variant::kMetaStar, rng_.get()).ok());
   // Meta*'s FP repair: a far-away point must be negative.
   std::vector<double> far_row = {1e6, 1e6, 1e6, 1e6};
-  EXPECT_DOUBLE_EQ(ex.PredictRow(far_row), 0.0);
+  EXPECT_DOUBLE_EQ(ex.PredictRow(far_row).value_or(-1.0), 0.0);
 }
 
 TEST_F(ExplorerTest, PrefixExploration) {
@@ -158,11 +161,11 @@ TEST_F(ExplorerTest, PrefixExploration) {
   ASSERT_TRUE(
       ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
   std::vector<std::vector<double>> labels(1);
-  labels[0].assign(ex.InitialTuples(0).size(), 1.0);
+  labels[0].assign(ex.InitialTuples(0)->size(), 1.0);
   ASSERT_TRUE(ex.StartExploration(labels, Variant::kBasic, rng_.get()).ok());
   EXPECT_EQ(ex.active_subspaces(), 1);
   // PredictRow conjoins only the first subspace.
-  const double p = ex.PredictRow(table_.Row(0));
+  const double p = ex.PredictRow(table_.Row(0)).value_or(-1.0);
   EXPECT_TRUE(p == 0.0 || p == 1.0);
 }
 
@@ -172,7 +175,7 @@ TEST_F(ExplorerTest, LabelShapeMismatchRejected) {
       ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
   std::vector<std::vector<double>> labels(2);
   labels[0].assign(3, 1.0);  // Wrong size.
-  labels[1].assign(ex.InitialTuples(1).size(), 1.0);
+  labels[1].assign(ex.InitialTuples(1)->size(), 1.0);
   EXPECT_FALSE(ex.StartExploration(labels, Variant::kBasic, rng_.get()).ok());
   // Too many label sets.
   std::vector<std::vector<double>> too_many(3);
@@ -203,7 +206,7 @@ TEST_F(ExplorerTest, SuggestTuplesRanksByUncertainty) {
   ASSERT_TRUE(
       ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
   std::vector<std::vector<double>> labels(1);
-  for (const auto& t : ex.InitialTuples(0)) {
+  for (const auto& t : *ex.InitialTuples(0)) {
     labels[0].push_back(t[0] < 5.0 ? 1.0 : 0.0);
   }
   ASSERT_TRUE(ex.StartExploration(labels, Variant::kBasic, rng_.get()).ok());
@@ -213,7 +216,8 @@ TEST_F(ExplorerTest, SuggestTuplesRanksByUncertainty) {
     const std::vector<double> row = table_.Row(r);
     candidates.push_back({row[0], row[1]});
   }
-  const std::vector<int64_t> picked = ex.SuggestTuples(0, candidates, 5);
+  std::vector<int64_t> picked;
+  ASSERT_TRUE(ex.SuggestTuples(0, candidates, 5, &picked).ok());
   ASSERT_EQ(picked.size(), 5u);
   // Every index valid and distinct.
   std::set<int64_t> uniq(picked.begin(), picked.end());
@@ -223,7 +227,8 @@ TEST_F(ExplorerTest, SuggestTuplesRanksByUncertainty) {
     EXPECT_LT(i, 200);
   }
   // k larger than the candidate set clamps.
-  EXPECT_EQ(ex.SuggestTuples(0, candidates, 1000).size(), 200u);
+  ASSERT_TRUE(ex.SuggestTuples(0, candidates, 1000, &picked).ok());
+  EXPECT_EQ(picked.size(), 200u);
 }
 
 TEST_F(ExplorerTest, ContinueExplorationRefinesModel) {
@@ -232,7 +237,7 @@ TEST_F(ExplorerTest, ContinueExplorationRefinesModel) {
       ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
   const double threshold = 5.0;
   std::vector<std::vector<double>> labels(1);
-  for (const auto& t : ex.InitialTuples(0)) {
+  for (const auto& t : *ex.InitialTuples(0)) {
     labels[0].push_back(t[0] < threshold ? 1.0 : 0.0);
   }
   ASSERT_TRUE(ex.StartExploration(labels, Variant::kBasic, rng_.get()).ok());
@@ -244,7 +249,7 @@ TEST_F(ExplorerTest, ContinueExplorationRefinesModel) {
       const std::vector<double> row = table_.Row(r);
       const std::vector<double> p = {row[0], row[1]};
       const double truth = p[0] < threshold ? 1.0 : 0.0;
-      if (ex.PredictSubspace(0, p) == truth) ++correct;
+      if (ex.PredictSubspace(0, p).value_or(-1.0) == truth) ++correct;
     }
     return static_cast<double>(correct) / 600.0;
   };
@@ -275,22 +280,28 @@ TEST_F(ExplorerTest, RetrieveMatchesReturnsPredictedRows) {
       ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
   std::vector<std::vector<double>> labels(2);
   for (int s = 0; s < 2; ++s) {
-    for (const auto& t : ex.InitialTuples(s)) {
+    for (const auto& t : *ex.InitialTuples(s)) {
       labels[static_cast<size_t>(s)].push_back(t[0] < 5.0 ? 1.0 : 0.0);
     }
   }
   ASSERT_TRUE(ex.StartExploration(labels, Variant::kBasic, rng_.get()).ok());
-  const std::vector<int64_t> matches = ex.RetrieveMatches(table_);
+  std::vector<int64_t> matches;
+  ASSERT_TRUE(ex.RetrieveMatches(table_, /*limit=*/-1, &matches).ok());
   for (int64_t r : matches) {
-    EXPECT_DOUBLE_EQ(ex.PredictRow(table_.Row(r)), 1.0);
+    EXPECT_DOUBLE_EQ(ex.PredictRow(table_.Row(r)).value_or(-1.0), 1.0);
   }
   // A limit caps and preserves the prefix.
   if (matches.size() > 3) {
-    const std::vector<int64_t> limited = ex.RetrieveMatches(table_, 3);
+    std::vector<int64_t> limited;
+    ASSERT_TRUE(ex.RetrieveMatches(table_, 3, &limited).ok());
     ASSERT_EQ(limited.size(), 3u);
     EXPECT_EQ(limited[0], matches[0]);
     EXPECT_EQ(limited[2], matches[2]);
   }
+  // limit == 0 is an empty result, not "scan everything".
+  std::vector<int64_t> none = {123};
+  ASSERT_TRUE(ex.RetrieveMatches(table_, 0, &none).ok());
+  EXPECT_TRUE(none.empty());
 }
 
 TEST_F(ExplorerTest, OneDimensionalSubspaceEndToEnd) {
@@ -303,14 +314,14 @@ TEST_F(ExplorerTest, OneDimensionalSubspaceEndToEnd) {
       ex.Pretrain(table, subspaces, /*train_meta=*/true, rng_.get()).ok());
   std::vector<std::vector<double>> labels(3);
   for (int s = 0; s < 3; ++s) {
-    for (const auto& t : ex.InitialTuples(s)) {
+    for (const auto& t : *ex.InitialTuples(s)) {
       labels[static_cast<size_t>(s)].push_back(t[0] < 5.0 ? 1.0 : 0.0);
     }
   }
   ASSERT_TRUE(
       ex.StartExploration(labels, Variant::kMetaStar, rng_.get()).ok());
   for (int64_t r = 0; r < 20; ++r) {
-    const double p = ex.PredictRow(table.Row(r));
+    const double p = ex.PredictRow(table.Row(r)).value_or(-1.0);
     EXPECT_TRUE(p == 0.0 || p == 1.0);
   }
 }
@@ -319,6 +330,171 @@ TEST_F(ExplorerTest, StartBeforePretrainFails) {
   Explorer ex(SmallExplorerOptions());
   EXPECT_EQ(ex.StartExploration({{1.0}}, Variant::kBasic, rng_.get()).code(),
             StatusCode::kFailedPrecondition);
+}
+
+class ExplorerOnlineParallelTest : public ExplorerTest {
+ protected:
+  // A pretrained + adapted explorer at the given online thread count. Every
+  // call pretrains from the same seed, so two instances differ only in the
+  // number of pool lanes their online path may use.
+  std::unique_ptr<Explorer> AdaptedExplorer(int64_t threads) {
+    ExplorerOptions opt = SmallExplorerOptions();
+    opt.num_threads = threads;
+    auto ex = std::make_unique<Explorer>(opt);
+    Rng rng(23);
+    EXPECT_TRUE(
+        ex->Pretrain(table_, subspaces_, /*train_meta=*/false, &rng).ok());
+    std::vector<std::vector<double>> labels(2);
+    for (int s = 0; s < 2; ++s) {
+      for (const auto& t : *ex->InitialTuples(s)) {
+        labels[static_cast<size_t>(s)].push_back(t[0] < 5.0 ? 1.0 : 0.0);
+      }
+    }
+    Rng online_rng(99);
+    EXPECT_TRUE(
+        ex->StartExploration(labels, Variant::kBasic, &online_rng).ok());
+    return ex;
+  }
+
+  std::vector<int64_t> AllRows() const {
+    std::vector<int64_t> rows(static_cast<size_t>(table_.num_rows()));
+    std::iota(rows.begin(), rows.end(), 0);
+    return rows;
+  }
+};
+
+TEST_F(ExplorerOnlineParallelTest, StartExplorationThreadCountInvariant) {
+  // The per-subspace adaptation lanes read key-split RNG streams, so the
+  // adapted models — observed through their predictions over the whole
+  // table — must be bit-identical at 1, 2, and 4 threads.
+  const std::unique_ptr<Explorer> e1 = AdaptedExplorer(1);
+  const std::vector<int64_t> rows = AllRows();
+  std::vector<double> p1;
+  ASSERT_TRUE(e1->PredictRows(table_, rows, &p1).ok());
+  ASSERT_EQ(p1.size(), rows.size());
+  for (int64_t threads : {int64_t{2}, int64_t{4}}) {
+    const std::unique_ptr<Explorer> ex = AdaptedExplorer(threads);
+    std::vector<double> p;
+    ASSERT_TRUE(ex->PredictRows(table_, rows, &p).ok());
+    EXPECT_EQ(p, p1) << "threads=" << threads;
+  }
+}
+
+TEST_F(ExplorerOnlineParallelTest, RetrieveMatchesThreadCountInvariant) {
+  const std::unique_ptr<Explorer> e1 = AdaptedExplorer(1);
+  std::vector<int64_t> sequential;
+  ASSERT_TRUE(e1->RetrieveMatches(table_, -1, &sequential).ok());
+  ASSERT_GT(sequential.size(), 3u);  // The labelling rule matches many rows.
+  EXPECT_TRUE(std::is_sorted(sequential.begin(), sequential.end()));
+  const int64_t limit = static_cast<int64_t>(sequential.size()) / 2;
+  for (int64_t threads : {int64_t{2}, int64_t{4}}) {
+    const std::unique_ptr<Explorer> ex = AdaptedExplorer(threads);
+    std::vector<int64_t> parallel;
+    ASSERT_TRUE(ex->RetrieveMatches(table_, -1, &parallel).ok());
+    EXPECT_EQ(parallel, sequential) << "threads=" << threads;
+    // Exact-limit truncation: byte-identical prefix of the full scan.
+    std::vector<int64_t> limited;
+    ASSERT_TRUE(ex->RetrieveMatches(table_, limit, &limited).ok());
+    const std::vector<int64_t> prefix(
+        sequential.begin(), sequential.begin() + limit);
+    EXPECT_EQ(limited, prefix) << "threads=" << threads;
+  }
+}
+
+TEST_F(ExplorerOnlineParallelTest, PredictRowsMatchesRowWisePredictRow) {
+  const std::unique_ptr<Explorer> ex = AdaptedExplorer(4);
+  // Unordered, repeating row list: output must follow the input order.
+  const std::vector<int64_t> rows = {17, 3, 3999, 0, 17, 1024, 512};
+  std::vector<double> preds;
+  ASSERT_TRUE(ex->PredictRows(table_, rows, &preds).ok());
+  ASSERT_EQ(preds.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(preds[i],
+              ex->PredictRow(table_.Row(rows[i])).value_or(-1.0))
+        << "row " << rows[i];
+  }
+}
+
+TEST_F(ExplorerTest, QueryAccessorsReturnNullOnMisuse) {
+  Explorer ex(SmallExplorerOptions());
+  // Before Pretrain every accessor reports "nothing there" instead of
+  // aborting.
+  EXPECT_EQ(ex.subspace(0), nullptr);
+  EXPECT_EQ(ex.InitialTuples(0), nullptr);
+  EXPECT_EQ(ex.generator(0), nullptr);
+  EXPECT_FALSE(ex.PredictRow(table_.Row(0)).has_value());
+  EXPECT_FALSE(ex.PredictSubspace(0, {0.0, 0.0}).has_value());
+
+  ASSERT_TRUE(
+      ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
+  EXPECT_NE(ex.subspace(0), nullptr);
+  EXPECT_NE(ex.InitialTuples(1), nullptr);
+  EXPECT_NE(ex.generator(1), nullptr);
+  EXPECT_EQ(ex.subspace(-1), nullptr);
+  EXPECT_EQ(ex.subspace(2), nullptr);
+  EXPECT_EQ(ex.InitialTuples(7), nullptr);
+  EXPECT_EQ(ex.generator(-3), nullptr);
+}
+
+TEST_F(ExplorerTest, PredictionMisuseYieldsNullopt) {
+  Explorer ex(SmallExplorerOptions());
+  ASSERT_TRUE(
+      ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
+  // Adapt only subspace 0.
+  std::vector<std::vector<double>> labels(1);
+  labels[0].assign(ex.InitialTuples(0)->size(), 1.0);
+  ASSERT_TRUE(ex.StartExploration(labels, Variant::kBasic, rng_.get()).ok());
+
+  EXPECT_TRUE(ex.PredictSubspace(0, {0.5, 0.5}).has_value());
+  EXPECT_FALSE(ex.PredictSubspace(1, {0.5, 0.5}).has_value());  // Un-adapted.
+  EXPECT_FALSE(ex.PredictSubspace(-1, {0.5, 0.5}).has_value());
+  EXPECT_FALSE(ex.PredictSubspace(9, {0.5, 0.5}).has_value());
+  EXPECT_FALSE(ex.PredictSubspace(0, {0.5}).has_value());  // Width mismatch.
+  EXPECT_TRUE(ex.PredictRow(table_.Row(0)).has_value());
+  EXPECT_FALSE(ex.PredictRow({0.5}).has_value());  // Row too narrow.
+}
+
+TEST_F(ExplorerTest, BatchQueryMisuseYieldsStatus) {
+  Explorer ex(SmallExplorerOptions());
+  std::vector<int64_t> matches;
+  std::vector<double> preds;
+  const std::vector<int64_t> rows = {0, 1, 2};
+  // Before StartExploration both batch entry points fail cleanly.
+  EXPECT_EQ(ex.RetrieveMatches(table_, -1, &matches).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ex.PredictRows(table_, rows, &preds).code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(
+      ex.Pretrain(table_, subspaces_, /*train_meta=*/false, rng_.get()).ok());
+  std::vector<std::vector<double>> labels(2);
+  for (int s = 0; s < 2; ++s) {
+    labels[static_cast<size_t>(s)].assign(ex.InitialTuples(s)->size(), 1.0);
+  }
+  ASSERT_TRUE(ex.StartExploration(labels, Variant::kBasic, rng_.get()).ok());
+
+  // Out-of-range row indices.
+  const std::vector<int64_t> negative = {-1};
+  const std::vector<int64_t> past_end = {table_.num_rows()};
+  EXPECT_EQ(ex.PredictRows(table_, negative, &preds).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ex.PredictRows(table_, past_end, &preds).code(),
+            StatusCode::kOutOfRange);
+  // A table narrower than the active subspaces' attributes.
+  const data::Table narrow = table_.Project({0, 1});
+  EXPECT_EQ(ex.RetrieveMatches(narrow, -1, &matches).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ex.PredictRows(narrow, rows, &preds).code(),
+            StatusCode::kInvalidArgument);
+
+  // SuggestTuples misuse: un-adapted subspace, bad k, bad candidate width.
+  std::vector<int64_t> picked;
+  EXPECT_EQ(ex.SuggestTuples(5, {{0.5, 0.5}}, 1, &picked).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ex.SuggestTuples(0, {{0.5, 0.5}}, -1, &picked).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ex.SuggestTuples(0, {{0.5, 0.5, 0.5}}, 1, &picked).code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -90,7 +90,7 @@ TEST(IntegrationTest, FullPipelineOnCarLikeData) {
   std::vector<std::vector<double>> labels(subspaces.size());
   for (size_t s = 0; s < subspaces.size(); ++s) {
     for (const auto& tuple :
-         explorer.InitialTuples(static_cast<int64_t>(s))) {
+         *explorer.InitialTuples(static_cast<int64_t>(s))) {
       labels[s].push_back(in_region(tuple) ? 1.0 : 0.0);
     }
   }
@@ -109,7 +109,7 @@ TEST(IntegrationTest, FullPipelineOnCarLikeData) {
       }
       truth = truth && in_region(p);
     }
-    counts.Add(truth ? 1.0 : 0.0, explorer.PredictRow(row));
+    counts.Add(truth ? 1.0 : 0.0, explorer.PredictRow(row).value_or(0.0));
   }
   // The adapted model must do clearly better than chance on this easy box.
   EXPECT_GT(eval::F1Score(counts), 0.3);

@@ -101,11 +101,13 @@ TEST_F(ModelRobustnessTest, FailedLoadLeavesExplorerUnusable) {
 TEST_F(ModelRobustnessTest, FailedLoadPreservesPreviousModel) {
   core::Explorer ex(core::ExplorerOptions{});
   ASSERT_TRUE(ex.LoadModel(path_).ok());
-  const auto initial = ex.InitialTuples(0);
+  ASSERT_NE(ex.InitialTuples(0), nullptr);
+  const std::vector<std::vector<double>> initial = *ex.InitialTuples(0);
   WriteTruncated(bytes_.size() / 3);
   ASSERT_FALSE(ex.LoadModel(truncated_path()).ok());
   // A failed re-load must not clobber the previously loaded model.
-  EXPECT_EQ(ex.InitialTuples(0), initial);
+  ASSERT_NE(ex.InitialTuples(0), nullptr);
+  EXPECT_EQ(*ex.InitialTuples(0), initial);
 }
 
 }  // namespace

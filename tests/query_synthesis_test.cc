@@ -44,7 +44,7 @@ class QuerySynthesisTest : public ::testing::Test {
   void Explore(double threshold) {
     std::vector<std::vector<double>> labels(2);
     for (int s = 0; s < 2; ++s) {
-      for (const auto& t : explorer_->InitialTuples(s)) {
+      for (const auto& t : *explorer_->InitialTuples(s)) {
         labels[static_cast<size_t>(s)].push_back(t[0] < threshold ? 1.0 : 0.0);
       }
     }
@@ -77,7 +77,8 @@ TEST_F(QuerySynthesisTest, QueryAgreesWithClassifier) {
   eval::ConfusionCounts counts;
   for (int64_t r = 0; r < 1000; ++r) {
     const std::vector<double> row = table_.Row(r);
-    counts.Add(explorer_->PredictRow(row), query.Matches(row) ? 1.0 : 0.0);
+    counts.Add(explorer_->PredictRow(row).value_or(0.0),
+               query.Matches(row) ? 1.0 : 0.0);
   }
   EXPECT_GT(eval::F1Score(counts), 0.8);
 }
@@ -113,7 +114,7 @@ TEST_F(QuerySynthesisTest, AllNegativeYieldsFalseClause) {
   std::vector<std::vector<double>> labels(2);
   for (int s = 0; s < 2; ++s) {
     labels[static_cast<size_t>(s)].assign(
-        explorer_->InitialTuples(s).size(), 0.0);
+        explorer_->InitialTuples(s)->size(), 0.0);
   }
   ASSERT_TRUE(
       explorer_->StartExploration(labels, Variant::kBasic, rng_.get()).ok());
@@ -124,7 +125,8 @@ TEST_F(QuerySynthesisTest, AllNegativeYieldsFalseClause) {
   int classifier_positives = 0;
   for (int64_t r = 0; r < 500; ++r) {
     matches += query.Matches(table_.Row(r)) ? 1 : 0;
-    classifier_positives += explorer_->PredictRow(table_.Row(r)) > 0.5;
+    classifier_positives +=
+        explorer_->PredictRow(table_.Row(r)).value_or(0.0) > 0.5;
   }
   // The query may only match rows the classifier also accepts (both should
   // be near zero on all-negative labels).

@@ -127,6 +127,71 @@ TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
   EXPECT_EQ(total.load(), 2000 * 16);
 }
 
+TEST(ThreadPoolTest, EarlyExitRunsEveryChunkWhenNeverCancelled) {
+  ThreadPool pool(4);
+  std::vector<int> hits(500, 0);
+  pool.ParallelForEarlyExit(
+      500, 4, [&](int64_t c) { ++hits[static_cast<size_t>(c)]; },
+      [] { return false; });
+  for (size_t c = 0; c < hits.size(); ++c) {
+    ASSERT_EQ(hits[c], 1) << "chunk " << c;
+  }
+}
+
+TEST(ThreadPoolTest, EarlyExitExecutesContiguousPrefix) {
+  // Cancel after ~50 chunks: whatever ran must be exactly [0, C) for some C
+  // — chunks are claimed in increasing order, so no gaps are possible.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  std::atomic<int64_t> done{0};
+  pool.ParallelForEarlyExit(
+      1000, 4,
+      [&](int64_t c) {
+        hits[static_cast<size_t>(c)].fetch_add(1);
+        done.fetch_add(1);
+      },
+      [&] { return done.load() >= 50; });
+  int64_t executed = 0;
+  for (const auto& h : hits) executed += h.load();
+  EXPECT_GE(executed, 50);
+  EXPECT_LT(executed, 1000);  // The cancellation actually cut the scan short.
+  // Contiguity: once a zero appears, everything after it is zero too.
+  bool seen_gap = false;
+  for (const auto& h : hits) {
+    if (h.load() == 0) seen_gap = true;
+    else ASSERT_FALSE(seen_gap) << "executed chunk after an unexecuted one";
+  }
+}
+
+TEST(ThreadPoolTest, EarlyExitCancelledUpFrontRunsNothing) {
+  ThreadPool pool(2);
+  int64_t calls = 0;
+  pool.ParallelForEarlyExit(
+      100, 4, [&](int64_t) { ++calls; }, [] { return true; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelForEarlyExit(
+      0, 4, [&](int64_t) { ++calls; }, [] { return false; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, EarlyExitSequentialAndNestedFallbacks) {
+  // max_parallelism <= 1 runs inline on the caller, in chunk order.
+  ThreadPool pool(4);
+  std::vector<int64_t> order;
+  pool.ParallelForEarlyExit(
+      8, 1, [&](int64_t c) { order.push_back(c); }, [] { return false; });
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+  // From inside a pool lane the early-exit loop must complete inline rather
+  // than deadlock on the busy pool.
+  std::atomic<int64_t> nested{0};
+  pool.ParallelFor(0, 4, 4, [&](int64_t) {
+    pool.ParallelForEarlyExit(
+        16, 4, [&](int64_t) { nested.fetch_add(1); }, [] { return false; });
+  });
+  EXPECT_EQ(nested.load(), 4 * 16);
+}
+
 TEST(ThreadPoolTest, SharedPoolSingleton) {
   ThreadPool& a = ThreadPool::Shared();
   ThreadPool& b = ThreadPool::Shared();
