@@ -1,0 +1,234 @@
+// Multi-session serving throughput: N concurrent users against one shared
+// ExplorationModel.
+//
+// The serving architecture (DESIGN.md "Serving architecture") pre-trains one
+// immutable ExplorationModel and gives every user a private
+// ExplorationSession; all sessions fan their scans out on the one
+// process-wide thread pool. This bench sweeps sessions S x per-session
+// threads T, reports aggregate prediction throughput (rows/s), and verifies
+// the determinism contract as it goes: every user's predictions under
+// concurrency must be byte-identical to a standalone sequential run of the
+// same user.
+//
+// Expected shape: aggregate throughput scales with S until the pool's
+// hardware lanes saturate (sessions share the pool, they don't stack
+// thread-for-thread), and per-session threads trade single-user latency
+// against cross-user fairness without ever changing results.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "bench_common.h"
+#include "eval/report.h"
+
+namespace lte::bench {
+namespace {
+
+/// One row of the sessions x threads sweep, kept for the JSON artifact.
+struct SweepRow {
+  int64_t sessions = 0;
+  int64_t threads_per_session = 0;
+  double wall_s = 0.0;
+  double rows_per_s = 0.0;
+  bool bit_identical = true;
+};
+
+/// Everything one simulated user produces, for exact comparison against the
+/// sequential baseline.
+struct UserOutcome {
+  std::vector<double> predictions;
+  std::vector<int64_t> matches;
+
+  bool operator==(const UserOutcome& other) const {
+    return predictions == other.predictions && matches == other.matches;
+  }
+};
+
+/// Scripted per-user labels: user `u` likes a subspace point iff its first
+/// coordinate falls below a per-user quantile of the initial tuples' first
+/// coordinates. Distinct users get distinct thresholds (distinct adapted
+/// regions), and every label set is guaranteed mixed.
+std::vector<std::vector<double>> UserLabels(const core::ExplorationModel& model,
+                                            int64_t u) {
+  std::vector<std::vector<double>> labels(
+      static_cast<size_t>(model.num_subspaces()));
+  for (int64_t s = 0; s < model.num_subspaces(); ++s) {
+    const auto& tuples = *model.InitialTuples(s);
+    std::vector<double> firsts;
+    firsts.reserve(tuples.size());
+    for (const auto& t : tuples) firsts.push_back(t[0]);
+    std::sort(firsts.begin(), firsts.end());
+    const size_t q = (static_cast<size_t>(3 + (u % 5)) * firsts.size()) / 10;
+    const double threshold = firsts[std::min(q, firsts.size() - 1)];
+    for (const auto& t : tuples) {
+      labels[static_cast<size_t>(s)].push_back(t[0] < threshold ? 1.0 : 0.0);
+    }
+  }
+  return labels;
+}
+
+/// Runs user `u` end to end on a fresh session: fast-adapt, `reps` full-table
+/// batch predictions, and one bounded retrieval. Returns false on any non-OK
+/// status.
+bool RunUser(const core::ExplorationModel& model, const data::Table& table,
+             const std::vector<int64_t>& all_rows, int64_t u,
+             int64_t threads_per_session, int64_t reps, UserOutcome* out) {
+  core::ExplorationSession session(&model, threads_per_session);
+  Rng rng(1000 + static_cast<uint64_t>(u));
+  if (!session
+           .StartExploration(UserLabels(model, u), core::Variant::kBasic, &rng)
+           .ok()) {
+    return false;
+  }
+  for (int64_t r = 0; r < reps; ++r) {
+    if (!session.PredictRows(table, all_rows, &out->predictions).ok()) {
+      return false;
+    }
+  }
+  return session.RetrieveMatches(table, /*limit=*/200, &out->matches).ok();
+}
+
+void Run() {
+  PrintHeader("Multi-session serving: sessions x threads throughput sweep");
+  std::printf("hardware threads available: %lld\n",
+              static_cast<long long>(DefaultThreadCount()));
+
+  const int64_t rows = SmokeMode() ? 10000 : (FullScale() ? 100000 : 30000);
+  const int64_t reps = SmokeMode() ? 2 : 5;
+  Rng data_rng(11);
+  const data::Table sdss = data::MakeSdssLike(rows, &data_rng);
+
+  // One shared model: contexts + initial tuples only (Basic-variant serving,
+  // as in bench_fig6_runtime) — the sweep measures the serving path, not
+  // meta-training.
+  core::ExplorerOptions opt = BaseRunnerOptions(1, ConvexPsi()).explorer;
+  core::ExplorationModel model(opt);
+  Rng pretrain_rng(42);
+  if (!model.Pretrain(sdss, SdssSubspaces(), /*train_meta=*/false,
+                      &pretrain_rng)
+           .ok()) {
+    std::printf("pretrain failed\n");
+    return;
+  }
+
+  std::vector<int64_t> all_rows(static_cast<size_t>(sdss.num_rows()));
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+
+  const std::vector<int64_t> session_sweep =
+      SmokeMode() ? std::vector<int64_t>{1, 4}
+                  : std::vector<int64_t>{1, 2, 4, 8};
+  const std::vector<int64_t> thread_sweep =
+      SmokeMode() ? std::vector<int64_t>{1, 2}
+                  : std::vector<int64_t>{1, 2, 4};
+  const int64_t max_sessions =
+      *std::max_element(session_sweep.begin(), session_sweep.end());
+
+  // Sequential baselines, one per user: the ground truth every concurrent
+  // run must reproduce byte-for-byte.
+  std::vector<UserOutcome> baseline(static_cast<size_t>(max_sessions));
+  for (int64_t u = 0; u < max_sessions; ++u) {
+    if (!RunUser(model, sdss, all_rows, u, /*threads_per_session=*/1, reps,
+                 &baseline[static_cast<size_t>(u)])) {
+      std::printf("baseline run failed for user %lld\n",
+                  static_cast<long long>(u));
+      return;
+    }
+  }
+
+  bool all_identical = true;
+  std::vector<SweepRow> results;
+  eval::TextTable table({"sessions x threads/sess", "wall (s)",
+                         "rows/s (aggregate)", "identical"});
+  for (int64_t threads_per_session : thread_sweep) {
+    for (int64_t sessions : session_sweep) {
+      std::vector<UserOutcome> outcomes(static_cast<size_t>(sessions));
+      std::vector<char> ok(static_cast<size_t>(sessions), 1);
+      Stopwatch sw;
+      {
+        std::vector<std::thread> users;
+        users.reserve(static_cast<size_t>(sessions));
+        for (int64_t u = 0; u < sessions; ++u) {
+          users.emplace_back([&, u] {
+            ok[static_cast<size_t>(u)] =
+                RunUser(model, sdss, all_rows, u, threads_per_session, reps,
+                        &outcomes[static_cast<size_t>(u)])
+                    ? 1
+                    : 0;
+          });
+        }
+        for (std::thread& t : users) t.join();
+      }
+
+      SweepRow row;
+      row.sessions = sessions;
+      row.threads_per_session = threads_per_session;
+      row.wall_s = sw.ElapsedSeconds();
+      row.rows_per_s =
+          row.wall_s > 0.0
+              ? static_cast<double>(sessions * reps * rows) / row.wall_s
+              : 0.0;
+      for (int64_t u = 0; u < sessions; ++u) {
+        if (ok[static_cast<size_t>(u)] == 0 ||
+            !(outcomes[static_cast<size_t>(u)] ==
+              baseline[static_cast<size_t>(u)])) {
+          row.bit_identical = false;
+          all_identical = false;
+        }
+      }
+      table.AddRow(std::to_string(sessions) + " x " +
+                       std::to_string(threads_per_session),
+                   {row.wall_s, row.rows_per_s,
+                    row.bit_identical ? 1.0 : 0.0},
+                   2);
+      results.push_back(row);
+    }
+  }
+  table.Print();
+  std::printf("all concurrent runs byte-identical to sequential: %s\n",
+              all_identical ? "yes" : "NO — determinism contract violated");
+
+  const std::string json_path = JsonOutputPath();
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("could not open %s for writing\n", json_path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"multi_session_serving\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n",
+                 SmokeMode() ? "smoke" : (FullScale() ? "full" : "scaled"));
+    std::fprintf(f, "  \"rows\": %lld,\n", static_cast<long long>(rows));
+    std::fprintf(f, "  \"reps\": %lld,\n", static_cast<long long>(reps));
+    std::fprintf(f, "  \"hardware_threads\": %lld,\n",
+                 static_cast<long long>(DefaultThreadCount()));
+    std::fprintf(f, "  \"bit_identical\": %s,\n",
+                 all_identical ? "true" : "false");
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const SweepRow& r = results[i];
+      std::fprintf(f,
+                   "    {\"sessions\": %lld, \"threads_per_session\": %lld, "
+                   "\"wall_s\": %.6f, \"rows_per_s\": %.1f, "
+                   "\"bit_identical\": %s}%s\n",
+                   static_cast<long long>(r.sessions),
+                   static_cast<long long>(r.threads_per_session), r.wall_s,
+                   r.rows_per_s, r.bit_identical ? "true" : "false",
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote JSON results to %s\n", json_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace lte::bench
+
+int main() {
+  lte::bench::Run();
+  return 0;
+}

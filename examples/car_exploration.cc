@@ -69,9 +69,9 @@ int main() {
   options.online_steps = 40;
   options.online_lr = 0.2;
 
-  lte::core::Explorer explorer(options);
+  lte::core::ExplorationModel model(options);
   lte::Status status =
-      explorer.Pretrain(table, subspaces, /*train_meta=*/true, &rng);
+      model.Pretrain(table, subspaces, /*train_meta=*/true, &rng);
   if (!status.ok()) {
     std::printf("pretrain failed: %s\n", status.ToString().c_str());
     return 1;
@@ -83,7 +83,7 @@ int main() {
   std::vector<std::vector<double>> labels(subspaces.size());
   for (size_t s = 0; s < subspaces.size(); ++s) {
     const auto& attrs = subspaces[s].attribute_indices;
-    for (const auto& tuple : *explorer.InitialTuples(static_cast<int64_t>(s))) {
+    for (const auto& tuple : *model.InitialTuples(static_cast<int64_t>(s))) {
       const double a0 = normalizer.Inverse(attrs[0], tuple[0]);
       const double a1 = normalizer.Inverse(attrs[1], tuple[1]);
       const bool liked =
@@ -91,8 +91,9 @@ int main() {
       labels[s].push_back(liked ? 1.0 : 0.0);
     }
   }
-  status = explorer.StartExploration(labels, lte::core::Variant::kMetaStar,
-                                     &rng);
+  lte::core::ExplorationSession session(&model);
+  status = session.StartExploration(labels, lte::core::Variant::kMetaStar,
+                                    &rng);
   if (!status.ok()) {
     std::printf("exploration failed: %s\n", status.ToString().c_str());
     return 1;
@@ -101,7 +102,7 @@ int main() {
   // Final retrieval: the parallel batch scan returns the predicted-
   // interesting listings in row order.
   std::vector<int64_t> matches;
-  status = explorer.RetrieveMatches(table, /*limit=*/-1, &matches);
+  status = session.RetrieveMatches(table, /*limit=*/-1, &matches);
   if (!status.ok()) {
     std::printf("retrieval failed: %s\n", status.ToString().c_str());
     return 1;

@@ -6,8 +6,8 @@
 // * Loads a CSV (header + numeric columns); without one, generates the
 //   SDSS-like synthetic table.
 // * Pre-trains the meta-learners — or instantly restores them from
-//   `model_path` if it exists (Explorer::Save / LoadModel), mirroring the
-//   offline/online split of the paper's Figure 2.
+//   `model_path` if it exists (ExplorationModel::Save / Load), mirroring
+//   the offline/online split of the paper's Figure 2.
 // * Presents the initial tuples per subspace; you answer y/n on stdin
 //   (pipe answers in for scripted runs).
 // * Fast-adapts, prints the 10 best-matching rows, and synthesizes the SQL
@@ -76,7 +76,9 @@ int main(int argc, char** argv) {
     if (!table.AppendRow(normalizer.TransformRow(raw.Row(r))).ok()) return 1;
   }
 
-  // --- Offline phase: restore a saved model or pre-train and save. ---
+  // --- Offline phase: restore a saved model or pre-train and save. The
+  // model is the part a serving deployment trains once and shares across
+  // every user's session. ---
   lte::core::ExplorerOptions options;
   options.task_gen.k_u = 50;
   options.task_gen.k_s = 15;  // 20 labels per subspace with delta = 5.
@@ -85,10 +87,10 @@ int main(int argc, char** argv) {
   options.learner.embedding_size = 24;
   options.learner.clf_hidden = {24};
 
-  lte::core::Explorer explorer(options);
+  lte::core::ExplorationModel model(options);
   bool restored = false;
   if (!model_path.empty()) {
-    if (explorer.LoadModel(model_path).ok()) {
+    if (model.Load(model_path).ok()) {
       std::printf("restored pre-trained model from %s\n", model_path.c_str());
       restored = true;
     }
@@ -100,26 +102,26 @@ int main(int argc, char** argv) {
         lte::data::DecomposeSpace(attrs, 2, &rng);
     std::printf("pre-training on %zu subspaces...\n", subspaces.size());
     const lte::Status s =
-        explorer.Pretrain(table, subspaces, /*train_meta=*/true, &rng);
+        model.Pretrain(table, subspaces, /*train_meta=*/true, &rng);
     if (!s.ok()) {
       std::printf("pretrain failed: %s\n", s.ToString().c_str());
       return 1;
     }
     if (!model_path.empty()) {
-      if (explorer.Save(model_path).ok()) {
+      if (model.Save(model_path).ok()) {
         std::printf("saved model to %s\n", model_path.c_str());
       }
     }
   }
 
-  // --- Online phase: the user labels the initial tuples. ---
+  // --- Online phase: this terminal is one user — one session. ---
   const std::vector<std::string> names = table.AttributeNames();
   std::vector<std::vector<double>> labels(
-      static_cast<size_t>(explorer.num_subspaces()));
-  for (int64_t s = 0; s < explorer.num_subspaces(); ++s) {
-    const auto& attrs = explorer.subspace(s)->attribute_indices;
+      static_cast<size_t>(model.num_subspaces()));
+  for (int64_t s = 0; s < model.num_subspaces(); ++s) {
+    const auto& attrs = model.subspace(s)->attribute_indices;
     std::printf("\n-- subspace %lld --\n", static_cast<long long>(s));
-    for (const auto& tuple : *explorer.InitialTuples(s)) {
+    for (const auto& tuple : *model.InitialTuples(s)) {
       std::vector<double> raw_values;
       for (size_t i = 0; i < attrs.size(); ++i) {
         raw_values.push_back(normalizer.Inverse(attrs[i], tuple[i]));
@@ -130,8 +132,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  lte::core::ExplorationSession session(&model);
   lte::Status s =
-      explorer.StartExploration(labels, lte::core::Variant::kMetaStar, &rng);
+      session.StartExploration(labels, lte::core::Variant::kMetaStar, &rng);
   if (!s.ok()) {
     std::printf("exploration failed: %s\n", s.ToString().c_str());
     return 1;
@@ -141,7 +144,7 @@ int main(int argc, char** argv) {
   // bounded parallel scan stops early once ten matches are in hand. ---
   std::printf("\nbest-matching tuples:\n");
   std::vector<int64_t> matches;
-  s = explorer.RetrieveMatches(table, /*limit=*/10, &matches);
+  s = session.RetrieveMatches(table, /*limit=*/10, &matches);
   if (!s.ok()) {
     std::printf("retrieval failed: %s\n", s.ToString().c_str());
     return 1;
@@ -158,7 +161,7 @@ int main(int argc, char** argv) {
   if (matches.empty()) std::printf("  (none)\n");
 
   lte::core::SynthesizedQuery query;
-  s = lte::core::SynthesizeQuery(explorer, lte::core::QuerySynthesisOptions{},
+  s = lte::core::SynthesizeQuery(session, lte::core::QuerySynthesisOptions{},
                                  &query);
   if (s.ok()) {
     std::printf("\nequivalent SQL filter:\n%s\n",

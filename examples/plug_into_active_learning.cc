@@ -6,9 +6,9 @@
 // labels; if the user keeps exploring, each further round feeds newly
 // labelled tuples back through the same local-update path, exactly like the
 // active-learning loops of AIDE/DSM but starting from meta-knowledge instead
-// of from scratch. Each round queries Explorer::SuggestTuples (uncertainty
-// sampling on the adapted classifier) and a ConvergenceTracker decides when
-// the explored region has stabilized enough to stop.
+// of from scratch. Each round queries ExplorationSession::SuggestTuples
+// (uncertainty sampling on the adapted classifier) and a ConvergenceTracker
+// decides when the explored region has stabilized enough to stop.
 
 #include <cstdio>
 
@@ -53,13 +53,14 @@ int main() {
   options.online_steps = 40;
   options.online_lr = 0.2;
 
-  lte::core::Explorer explorer(options);
-  if (!explorer.Pretrain(table, subspaces, /*train_meta=*/true, &rng).ok()) {
+  lte::core::ExplorationModel model(options);
+  if (!model.Pretrain(table, subspaces, /*train_meta=*/true, &rng).ok()) {
     return 1;
   }
+  lte::core::ExplorationSession session(&model);
 
   // Round 0: the standard LTE initial exploration.
-  std::vector<std::vector<double>> initial = *explorer.InitialTuples(0);
+  std::vector<std::vector<double>> initial = *model.InitialTuples(0);
   std::vector<std::vector<double>> labelled_points = initial;
   std::vector<double> labelled_y;
   std::vector<std::vector<double>> labels(1);
@@ -68,7 +69,7 @@ int main() {
     labels[0].push_back(y);
     labelled_y.push_back(y);
   }
-  if (!explorer.StartExploration(labels, lte::core::Variant::kMeta, &rng)
+  if (!session.StartExploration(labels, lte::core::Variant::kMeta, &rng)
            .ok()) {
     return 1;
   }
@@ -78,7 +79,7 @@ int main() {
     for (int64_t r = 0; r < 2000; ++r) {
       const std::vector<double> row = table.Row(r);
       counts.Add(UserLikes(row) ? 1.0 : 0.0,
-                 explorer.PredictRow(row).value_or(0.0));
+                 session.PredictRow(row).value_or(0.0));
     }
     return lte::eval::F1Score(counts);
   };
@@ -92,7 +93,7 @@ int main() {
     std::vector<int64_t> probe_rows(1000);
     std::iota(probe_rows.begin(), probe_rows.end(), 0);
     std::vector<double> preds;
-    if (!explorer.PredictRows(table, probe_rows, &preds).ok()) preds.clear();
+    if (!session.PredictRows(table, probe_rows, &preds).ok()) preds.clear();
     return preds;
   };
   lte::eval::ConvergenceTracker tracker(/*churn_threshold=*/0.01,
@@ -109,13 +110,13 @@ int main() {
     std::vector<std::vector<double>> candidates;
     for (int64_t r = 0; r < 4000; ++r) candidates.push_back(table.Row(r));
     std::vector<int64_t> picked;
-    if (!explorer.SuggestTuples(0, candidates, 10, &picked).ok()) return 1;
+    if (!session.SuggestTuples(0, candidates, 10, &picked).ok()) return 1;
     for (int64_t idx : picked) {
       const std::vector<double>& row = candidates[static_cast<size_t>(idx)];
       labelled_points.push_back(row);
       labelled_y.push_back(UserLikes(row) ? 1.0 : 0.0);
     }
-    if (!explorer.ContinueExploration(0, labelled_points, labelled_y, &rng)
+    if (!session.ContinueExploration(0, labelled_points, labelled_y, &rng)
              .ok()) {
       return 1;
     }

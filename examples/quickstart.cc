@@ -1,16 +1,19 @@
 // Quickstart: the full learn-to-explore loop on a small synthetic dataset.
 //
 //   1. Build a table and decompose its attributes into 2-D subspaces.
-//   2. Offline: pre-train meta-learners from automatically generated
+//   2. Offline: pre-train an ExplorationModel from automatically generated
 //      meta-tasks (no user labels involved).
-//   3. Online: "label" the initial tuples the framework selects (here a
-//      scripted user who likes the lower-left corner of every subspace).
-//   4. Fast-adapt and query the predicted user-interest region.
+//   3. Online: attach an ExplorationSession and "label" the initial tuples
+//      the framework selects (here a scripted user who likes the lower-left
+//      corner of every subspace).
+//   4. Fast-adapt and query the predicted user-interest region with the
+//      batch prediction surface.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
 
 #include <algorithm>
 #include <cstdio>
+#include <numeric>
 
 #include "core/lte.h"
 #include "data/synthetic.h"
@@ -36,7 +39,9 @@ int main() {
   std::printf("decomposed 4 attributes into %zu subspaces\n",
               subspaces.size());
 
-  // --- Offline phase: meta-task generation + meta-training. ---
+  // --- Offline phase: meta-task generation + meta-training. The model is
+  // user-independent; in a serving deployment it would be trained once and
+  // shared (by reference) across every user's session. ---
   lte::core::ExplorerOptions options;
   options.task_gen.k_u = 50;
   options.task_gen.k_s = 25;  // Budget B = k_s + delta = 30 labels/subspace.
@@ -47,18 +52,19 @@ int main() {
   options.online_steps = 40;
   options.online_lr = 0.2;
 
-  lte::core::Explorer explorer(options);
+  lte::core::ExplorationModel model(options);
   lte::Status status =
-      explorer.Pretrain(table, subspaces, /*train_meta=*/true, &rng);
+      model.Pretrain(table, subspaces, /*train_meta=*/true, &rng);
   if (!status.ok()) {
     std::printf("pretrain failed: %s\n", status.ToString().c_str());
     return 1;
   }
   std::printf("pre-training done: task generation %.2fs, meta-training %.2fs\n",
-              explorer.task_generation_seconds(),
-              explorer.meta_training_seconds());
+              model.task_generation_seconds(), model.meta_training_seconds());
 
-  // --- Online phase: the scripted user labels the initial tuples. ---
+  // --- Online phase: one user's session; the scripted user labels the
+  // initial tuples. (A single-user program can equally use the Explorer
+  // facade, which bundles a model with one default session.) ---
   // Interest: per subspace, points whose first coordinate is below that
   // attribute's median (a half-plane per subspace, conjunctive across
   // subspaces — roughly a quarter of the data overall).
@@ -75,21 +81,31 @@ int main() {
   };
   std::vector<std::vector<double>> labels(subspaces.size());
   for (size_t s = 0; s < subspaces.size(); ++s) {
-    for (const auto& tuple : *explorer.InitialTuples(static_cast<int64_t>(s))) {
+    for (const auto& tuple : *model.InitialTuples(static_cast<int64_t>(s))) {
       labels[s].push_back(user_likes(s, tuple) ? 1.0 : 0.0);
     }
     std::printf("subspace %zu: user labelled %zu initial tuples\n", s,
                 labels[s].size());
   }
 
-  status = explorer.StartExploration(labels, lte::core::Variant::kMetaStar,
-                                     &rng);
+  lte::core::ExplorationSession session(&model);
+  status = session.StartExploration(labels, lte::core::Variant::kMetaStar,
+                                    &rng);
   if (!status.ok()) {
     std::printf("exploration failed: %s\n", status.ToString().c_str());
     return 1;
   }
 
-  // --- Retrieve: scan the table for predicted-interesting tuples. ---
+  // --- Retrieve: batch-predict the whole table (parallel chunked scan). ---
+  std::vector<int64_t> all_rows(static_cast<size_t>(table.num_rows()));
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  std::vector<double> predictions;
+  status = session.PredictRows(table, all_rows, &predictions);
+  if (!status.ok()) {
+    std::printf("prediction failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
   int64_t predicted = 0;
   int64_t actually = 0;
   int64_t correct_positive = 0;
@@ -103,7 +119,7 @@ int main() {
       }
       truth = truth && user_likes(s, p);
     }
-    const bool pred = explorer.PredictRow(row).value_or(0.0) > 0.5;
+    const bool pred = predictions[static_cast<size_t>(r)] > 0.5;
     predicted += pred ? 1 : 0;
     actually += truth ? 1 : 0;
     correct_positive += (pred && truth) ? 1 : 0;

@@ -1,0 +1,358 @@
+#include "core/exploration_session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/thread_pool.h"
+#include "core/meta_trainer.h"
+#include "core/uis_feature.h"
+
+namespace lte::core {
+
+ExplorationSession::ExplorationSession(const ExplorationModel* model,
+                                       int64_t num_threads)
+    : model_(model), num_threads_override_(num_threads) {
+  LTE_CHECK(model != nullptr);
+}
+
+int64_t ExplorationSession::num_threads() const {
+  return num_threads_override_ >= 0 ? num_threads_override_
+                                    : model_->options().num_threads;
+}
+
+void ExplorationSession::Reset() {
+  states_.clear();
+  active_count_ = 0;
+  variant_ = Variant::kBasic;
+}
+
+Status ExplorationSession::StartExploration(
+    const std::vector<std::vector<double>>& labels_per_subspace,
+    Variant variant, Rng* rng) {
+  if (!model_->pretrained()) {
+    return Status::FailedPrecondition("session: model has not been trained");
+  }
+  if (labels_per_subspace.empty() ||
+      static_cast<int64_t>(labels_per_subspace.size()) >
+          model_->num_subspaces()) {
+    return Status::InvalidArgument(
+        "session: label sets must cover 1..num_subspaces() subspaces");
+  }
+  if ((variant == Variant::kMeta || variant == Variant::kMetaStar) &&
+      !model_->meta_trained()) {
+    return Status::FailedPrecondition(
+        "session: meta variant requires a meta-trained model");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("session: rng must not be null");
+  }
+  // Validate every label set before mutating any online state, so a failed
+  // call leaves the previous exploration intact.
+  for (size_t s = 0; s < labels_per_subspace.size(); ++s) {
+    if (labels_per_subspace[s].size() !=
+        model_->InitialTuples(static_cast<int64_t>(s))->size()) {
+      return Status::InvalidArgument(
+          "session: label count mismatch in subspace " + std::to_string(s));
+    }
+  }
+  variant_ = variant;
+  active_count_ = static_cast<int64_t>(labels_per_subspace.size());
+  states_.resize(static_cast<size_t>(model_->num_subspaces()));
+
+  const ExplorerOptions& options = model_->options();
+  // Subspaces adapt independently, so they fan out on the shared pool under
+  // the same determinism contract as Pretrain: subspace s draws only from
+  // the key-split stream fork_base.Fork(s), and every lane writes its own
+  // states_[s] slot, so the adapted models are bit-identical for any
+  // num_threads, including 1 — and for any number of sessions adapting
+  // concurrently, since a session's lanes never read another session's
+  // streams or state.
+  Rng fork_base = rng->Fork();
+  ThreadPool::Shared().ParallelFor(
+      0, active_count_, ResolveThreadCount(num_threads()), [&](int64_t si) {
+        const auto s = static_cast<size_t>(si);
+        SubspaceSession& state = states_[s];
+        Rng sub_rng = fork_base.Fork(static_cast<uint64_t>(si));
+        const std::vector<double>& labels = labels_per_subspace[s];
+        const MetaTaskGenerator& generator = *model_->generator(si);
+        const SubspaceContext& ctx = generator.context();
+        const auto k_s = static_cast<size_t>(generator.options().k_s);
+
+        // v_R from the center labels (first k_s entries).
+        const std::vector<double> center_labels(labels.begin(),
+                                                labels.begin() + k_s);
+        const std::vector<double> uis_feature = BuildUisFeature(
+            center_labels, ctx.proximity_s, generator.expansion_l());
+
+        // Basic trains the same architecture from scratch; Meta/Meta* adapt
+        // the meta-learned initialization (the underlined path of
+        // Algorithm 2).
+        std::unique_ptr<MetaLearner> basic_learner;
+        const MetaLearner* learner = model_->meta_learner(si);
+        if (variant == Variant::kBasic) {
+          MetaLearnerOptions lopt = options.learner;
+          lopt.uis_feature_dim = options.task_gen.k_u;
+          lopt.tuple_feature_dim = model_->encoder().ProjectedWidth(
+              model_->subspace(si)->attribute_indices);
+          lopt.use_memory = false;
+          basic_learner = std::make_unique<MetaLearner>(lopt, &sub_rng);
+          learner = basic_learner.get();
+        }
+        state.task_model =
+            std::make_unique<TaskModel>(learner->CreateTaskModel(uis_feature));
+
+        const TupleEncoder encode = model_->MakeEncoder(si);
+        const std::vector<std::vector<double>>& initial =
+            *model_->InitialTuples(si);
+        std::vector<std::vector<double>> x;
+        x.reserve(initial.size());
+        for (const auto& p : initial) x.push_back(encode(p));
+        LocallyAdapt(state.task_model.get(), x, labels, options.online_steps,
+                     options.online_batch_size, options.online_lr, &sub_rng);
+        // Adaptation is done: warm the cached UIS embedding so the serving
+        // surface below is write-free and safe to fan out across threads.
+        state.task_model->WarmUisEmbedding();
+
+        if (variant == Variant::kMetaStar) {
+          state.fpfn.emplace(ctx, center_labels, options.fpfn);
+        } else {
+          state.fpfn.reset();
+        }
+      });
+  // Clear stale online state beyond the active prefix.
+  for (size_t s = labels_per_subspace.size(); s < states_.size(); ++s) {
+    states_[s].task_model.reset();
+    states_[s].fpfn.reset();
+  }
+  return Status::OK();
+}
+
+Status ExplorationSession::SuggestTuples(
+    int64_t s, const std::vector<std::vector<double>>& candidates, int64_t k,
+    std::vector<int64_t>* suggested) const {
+  if (suggested == nullptr) {
+    return Status::InvalidArgument("session: suggested must not be null");
+  }
+  suggested->clear();
+  if (s < 0 || s >= active_count_ ||
+      states_[static_cast<size_t>(s)].task_model == nullptr) {
+    return Status::FailedPrecondition(
+        "session: SuggestTuples on subspace " + std::to_string(s) +
+        " before StartExploration adapted it");
+  }
+  if (k < 0) {
+    return Status::InvalidArgument("session: k must be >= 0");
+  }
+  const SubspaceSession& state = states_[static_cast<size_t>(s)];
+  const std::vector<int64_t>& attrs = model_->subspace(s)->attribute_indices;
+  Scratch scratch;
+  std::vector<double> uncertainty;
+  uncertainty.reserve(candidates.size());
+  for (const auto& point : candidates) {
+    if (point.size() != attrs.size()) {
+      return Status::InvalidArgument(
+          "session: candidate width mismatch in subspace " +
+          std::to_string(s));
+    }
+    model_->encoder().EncodeProjectedInto(point, attrs, &scratch.encoded);
+    const double p = state.task_model->PredictProbability(scratch.encoded);
+    uncertainty.push_back(std::abs(p - 0.5));
+  }
+  const size_t take = std::min(static_cast<size_t>(k), candidates.size());
+  const std::vector<size_t> idx = ArgSmallestK(uncertainty, take);
+  suggested->assign(idx.begin(), idx.end());
+  return Status::OK();
+}
+
+Status ExplorationSession::ContinueExploration(
+    int64_t s, const std::vector<std::vector<double>>& points,
+    const std::vector<double>& labels, Rng* rng) {
+  if (s < 0 || s >= active_count_) {
+    return Status::InvalidArgument("session: subspace not active");
+  }
+  if (points.empty() || points.size() != labels.size()) {
+    return Status::InvalidArgument("session: points/labels mismatch");
+  }
+  const size_t width = model_->subspace(s)->attribute_indices.size();
+  for (const auto& p : points) {
+    if (p.size() != width) {
+      return Status::InvalidArgument(
+          "session: point width mismatch in subspace " + std::to_string(s));
+    }
+  }
+  SubspaceSession& state = states_[static_cast<size_t>(s)];
+  if (state.task_model == nullptr) {
+    return Status::FailedPrecondition(
+        "session: ContinueExploration before StartExploration");
+  }
+  const ExplorerOptions& options = model_->options();
+  const TupleEncoder encode = model_->MakeEncoder(s);
+  std::vector<std::vector<double>> x;
+  x.reserve(points.size());
+  for (const auto& p : points) x.push_back(encode(p));
+  LocallyAdapt(state.task_model.get(), x, labels, options.online_steps,
+               options.online_batch_size, options.online_lr, rng);
+  state.task_model->WarmUisEmbedding();
+  return Status::OK();
+}
+
+Status ExplorationSession::ValidateServing(const data::Table& table) const {
+  if (active_count_ <= 0) {
+    return Status::FailedPrecondition(
+        "session: RetrieveMatches/PredictRows before StartExploration");
+  }
+  for (int64_t s = 0; s < active_count_; ++s) {
+    for (int64_t a : model_->subspace(s)->attribute_indices) {
+      if (a >= table.num_columns()) {
+        return Status::InvalidArgument(
+            "session: table is narrower than subspace " + std::to_string(s) +
+            " (needs attribute " + std::to_string(a) + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double ExplorationSession::PredictSubspaceUnchecked(
+    int64_t s, const std::vector<double>& point, Scratch* scratch) const {
+  const SubspaceSession& state = states_[static_cast<size_t>(s)];
+  model_->encoder().EncodeProjectedInto(
+      point, model_->subspace(s)->attribute_indices, &scratch->encoded);
+  double pred =
+      state.task_model->PredictProbability(scratch->encoded) > 0.5 ? 1.0 : 0.0;
+  if (state.fpfn.has_value()) pred = state.fpfn->Refine(point, pred);
+  return pred;
+}
+
+double ExplorationSession::PredictRowInTable(const data::Table& table,
+                                             int64_t r,
+                                             Scratch* scratch) const {
+  for (int64_t s = 0; s < active_count_; ++s) {
+    table.RowProjectedInto(r, model_->subspace(s)->attribute_indices,
+                           &scratch->point);
+    if (PredictSubspaceUnchecked(s, scratch->point, scratch) < 0.5) return 0.0;
+  }
+  return 1.0;
+}
+
+std::optional<double> ExplorationSession::PredictSubspace(
+    int64_t s, const std::vector<double>& point) const {
+  if (s < 0 || s >= model_->num_subspaces() ||
+      static_cast<size_t>(s) >= states_.size() ||
+      states_[static_cast<size_t>(s)].task_model == nullptr) {
+    return std::nullopt;
+  }
+  if (point.size() != model_->subspace(s)->attribute_indices.size()) {
+    return std::nullopt;
+  }
+  Scratch scratch;
+  return PredictSubspaceUnchecked(s, point, &scratch);
+}
+
+std::optional<double> ExplorationSession::PredictRow(
+    const std::vector<double>& row) const {
+  if (active_count_ <= 0) return std::nullopt;
+  Scratch scratch;
+  for (int64_t s = 0; s < active_count_; ++s) {
+    scratch.point.clear();
+    for (int64_t a : model_->subspace(s)->attribute_indices) {
+      if (static_cast<size_t>(a) >= row.size()) return std::nullopt;
+      scratch.point.push_back(row[static_cast<size_t>(a)]);
+    }
+    if (PredictSubspaceUnchecked(s, scratch.point, &scratch) < 0.5) {
+      return 0.0;
+    }
+  }
+  return 1.0;
+}
+
+Status ExplorationSession::PredictRows(const data::Table& table,
+                                       std::span<const int64_t> rows,
+                                       std::vector<double>* predictions) const {
+  if (predictions == nullptr) {
+    return Status::InvalidArgument("session: predictions must not be null");
+  }
+  LTE_RETURN_IF_ERROR(ValidateServing(table));
+  for (int64_t r : rows) {
+    if (r < 0 || r >= table.num_rows()) {
+      return Status::OutOfRange("session: row index " + std::to_string(r) +
+                                " outside [0, " +
+                                std::to_string(table.num_rows()) + ")");
+    }
+  }
+  const auto n = static_cast<int64_t>(rows.size());
+  predictions->assign(rows.size(), 0.0);
+  // Contiguous lanes writing disjoint per-index slots: bit-identical output
+  // at any thread count. One Scratch per shard keeps the hot loop free of
+  // per-row allocations.
+  ThreadPool::Shared().ParallelForShards(
+      0, n, ResolveThreadCount(num_threads()), [&](int64_t lo, int64_t hi) {
+        Scratch scratch;
+        for (int64_t i = lo; i < hi; ++i) {
+          (*predictions)[static_cast<size_t>(i)] = PredictRowInTable(
+              table, rows[static_cast<size_t>(i)], &scratch);
+        }
+      });
+  return Status::OK();
+}
+
+Status ExplorationSession::RetrieveMatches(const data::Table& table,
+                                           int64_t limit,
+                                           std::vector<int64_t>* matches) const {
+  if (matches == nullptr) {
+    return Status::InvalidArgument("session: matches must not be null");
+  }
+  matches->clear();
+  LTE_RETURN_IF_ERROR(ValidateServing(table));
+  if (limit == 0) return Status::OK();  // Only limit < 0 means "unlimited".
+  const int64_t num_rows = table.num_rows();
+  if (num_rows == 0) return Status::OK();
+
+  // Order-preserving chunked scan. Chunk boundaries depend only on the row
+  // count, lanes collect match indices into per-chunk slots, and the slots
+  // are concatenated in row order afterwards, so the result is bit-identical
+  // at any thread count. With a positive limit, lanes stop claiming chunks
+  // once the matches found so far already cover it: chunks are claimed in
+  // increasing order, so every match found lies in a chunk that precedes
+  // all unclaimed ones — the first `limit` matches in row order are already
+  // in hand, and later chunks cannot contribute earlier rows.
+  constexpr int64_t kChunkRows = 1024;
+  const int64_t num_chunks = (num_rows + kChunkRows - 1) / kChunkRows;
+  std::vector<std::vector<int64_t>> chunk_matches(
+      static_cast<size_t>(num_chunks));
+  std::atomic<int64_t> found{0};
+  ThreadPool::Shared().ParallelForEarlyExit(
+      num_chunks, ResolveThreadCount(num_threads()),
+      [&](int64_t c) {
+        const int64_t lo = c * kChunkRows;
+        const int64_t hi = std::min(lo + kChunkRows, num_rows);
+        std::vector<int64_t>& slot = chunk_matches[static_cast<size_t>(c)];
+        Scratch scratch;
+        for (int64_t r = lo; r < hi; ++r) {
+          if (PredictRowInTable(table, r, &scratch) > 0.5) slot.push_back(r);
+        }
+        if (!slot.empty()) {
+          found.fetch_add(static_cast<int64_t>(slot.size()),
+                          std::memory_order_relaxed);
+        }
+      },
+      [&] {
+        return limit > 0 && found.load(std::memory_order_relaxed) >= limit;
+      });
+  for (const std::vector<int64_t>& slot : chunk_matches) {
+    for (int64_t r : slot) {
+      matches->push_back(r);
+      if (limit > 0 && static_cast<int64_t>(matches->size()) >= limit) {
+        return Status::OK();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lte::core

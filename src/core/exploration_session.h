@@ -1,0 +1,201 @@
+#ifndef LTE_CORE_EXPLORATION_SESSION_H_
+#define LTE_CORE_EXPLORATION_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/exploration_model.h"
+#include "core/meta_learner.h"
+#include "core/optimizer_fpfn.h"
+#include "data/table.h"
+
+namespace lte::core {
+
+/// Which LTE variant answers predictions (paper Section VIII-A).
+enum class Variant {
+  /// Basic UIS classifier: same architecture, randomly initialized, trained
+  /// online only.
+  kBasic,
+  /// Meta: the classifier fast-adapts from meta-learned initialization
+  /// parameters (and memories).
+  kMeta,
+  /// Meta*: Meta plus the FP/FN prediction optimizer.
+  kMetaStar,
+};
+
+/// One user's online exploration against a shared `ExplorationModel` (paper
+/// Figure 2, online phase): the fast-adapted per-subspace task models, the
+/// Meta* FP/FN optimizers, and the full query surface.
+///
+/// A session is cheap — it owns only the adapted classifiers, never the
+/// clustering contexts or meta-learners — so a serving process holds one
+/// model and hands each concurrent user their own session:
+///
+///   ExplorationModel model(options);
+///   model.Pretrain(table, subspaces, /*train_meta=*/true, &rng);
+///   // Per user, possibly on its own thread:
+///   ExplorationSession session(&model);
+///   session.StartExploration(user_labels, Variant::kMetaStar, &user_rng);
+///   session.RetrieveMatches(table, /*limit=*/-1, &matches);
+///
+/// Thread-safety: distinct sessions over one model are fully independent —
+/// any number may run concurrently (adaptation included) with no external
+/// locking; their parallel scans share the process-wide ThreadPool safely.
+/// One session is single-writer: the mutating calls (StartExploration,
+/// ContinueExploration) must not race with each other or with this session's
+/// queries; the const query surface is safe to call concurrently with
+/// itself. Results are bit-identical at any thread count and for any number
+/// of co-resident sessions — a session computes exactly what a standalone
+/// run with the same seeds computes.
+///
+/// The model must outlive the session and must not be mutated (Pretrain/
+/// Load) while any session is attached.
+///
+/// Misuse-error contract (same as the `Explorer` facade): the query surface
+/// never aborts on out-of-range or premature calls. Predictions return
+/// std::nullopt, and the batch/retrieval entry points return a Status — an
+/// LTE_CHECK abort is reachable only through genuine internal invariant
+/// violations, not through caller mistakes.
+class ExplorationSession {
+ public:
+  /// Attaches to `model` (not owned; may be shared with other sessions).
+  /// `num_threads` overrides the model's `options().num_threads` for this
+  /// session's fan-outs when >= 0; the default -1 inherits the model's knob.
+  /// Multi-user hosts typically run each session with num_threads = 1 and
+  /// let the sessions themselves be the parallelism.
+  explicit ExplorationSession(const ExplorationModel* model,
+                              int64_t num_threads = -1);
+
+  ExplorationSession(const ExplorationSession&) = delete;
+  ExplorationSession& operator=(const ExplorationSession&) = delete;
+
+  const ExplorationModel& model() const { return *model_; }
+
+  /// Pool lanes used by this session's fan-outs (adaptation and scans),
+  /// after resolving the -1 inherit sentinel against the model's options.
+  int64_t num_threads() const;
+
+  /// Online phase: `labels_per_subspace[s][i]` is the 0/1 label of
+  /// (*model().InitialTuples(s))[i]. Fast-adapts a task model per subspace
+  /// (and builds the FP/FN optimizer for Meta*). Providing labels for only
+  /// the first k subspaces explores a k-subspace prefix of the interest
+  /// space (the dimensionality sweeps of the paper's Figures 4 and 7(c) use
+  /// this); PredictRow then conjoins only those subspaces. Fails if the
+  /// model is not pretrained, label shapes mismatch, or a meta variant is
+  /// requested without meta-training.
+  ///
+  /// Subspaces adapt in parallel lanes capped by `num_threads()`; subspace s
+  /// trains on its own `Rng::Fork(s)` stream split from one `rng->Fork()`
+  /// base, so the adapted models are bit-identical at any thread count (rng
+  /// itself advances by exactly one draw).
+  Status StartExploration(
+      const std::vector<std::vector<double>>& labels_per_subspace,
+      Variant variant, Rng* rng);
+
+  /// Number of subspaces adapted by the last StartExploration.
+  int64_t active_subspaces() const { return active_count_; }
+
+  /// Active-learning hook (paper Section III-B "Iterative exploration"):
+  /// ranks `candidates` (raw subspace-`s` points) by the adapted
+  /// classifier's uncertainty — probability closest to 0.5 — and stores the
+  /// indices of the `k` tuples most worth asking the user about next in
+  /// `*suggested` (fewer when `candidates` is smaller than `k`). Fails if
+  /// StartExploration has not adapted subspace `s`, `k` is negative, or a
+  /// candidate's width differs from the subspace's.
+  Status SuggestTuples(int64_t s,
+                       const std::vector<std::vector<double>>& candidates,
+                       int64_t k, std::vector<int64_t>* suggested) const;
+
+  /// Iterative exploration (paper Section III-B, "Other IDE Modules"):
+  /// feeds additional labelled tuples of subspace `s` (raw subspace
+  /// coordinates) through the same local-update path, continuing from the
+  /// current adapted state. Use after StartExploration, e.g. from an active-
+  /// learning loop that keeps querying the user.
+  Status ContinueExploration(int64_t s,
+                             const std::vector<std::vector<double>>& points,
+                             const std::vector<double>& labels, Rng* rng);
+
+  /// 1.0 when the adapted models consider the subspace point interesting,
+  /// 0.0 when not; std::nullopt when `s` is out of range, subspace `s` has
+  /// not been adapted by StartExploration, or `point`'s width differs from
+  /// the subspace's.
+  std::optional<double> PredictSubspace(int64_t s,
+                                        const std::vector<double>& point) const;
+
+  /// Conjunctive UIR membership of a full-width table row (paper Section
+  /// III-A: R^u = ∧ R_i): 1.0 / 0.0, or std::nullopt before
+  /// StartExploration or when `row` is too narrow for an active subspace.
+  std::optional<double> PredictRow(const std::vector<double>& row) const;
+
+  /// Batch counterpart of PredictRow and the primitive RetrieveMatches and
+  /// the bench harness build on: evaluates the conjunctive membership of the
+  /// given `rows` of `table` and stores one 0.0/1.0 per index (in input
+  /// order) in `*predictions`. Rows are scanned in parallel lanes capped by
+  /// `num_threads()`, each lane writing disjoint per-index slots, so the
+  /// output is bit-identical at any thread count. Fails before
+  /// StartExploration, when `table` is narrower than an active subspace's
+  /// attributes, or on an out-of-range row index.
+  Status PredictRows(const data::Table& table, std::span<const int64_t> rows,
+                     std::vector<double>* predictions) const;
+
+  /// Final retrieval (paper Section III-B): scans `table` and stores the row
+  /// indices the adapted classifiers predict interesting — in ascending row
+  /// order — in `*matches`. `limit < 0` scans everything, `limit == 0`
+  /// returns an empty result, and `limit > 0` truncates to the first `limit`
+  /// matches in row order. The scan is chunked across parallel lanes capped
+  /// by `num_threads()`; lanes collect into per-chunk slots that are
+  /// concatenated in row order, and with a positive `limit` lanes stop
+  /// claiming chunks once the matches already found cover it, so the result
+  /// is bit-identical at any thread count. Fails before StartExploration or
+  /// when `table` is narrower than an active subspace's attributes.
+  Status RetrieveMatches(const data::Table& table, int64_t limit,
+                         std::vector<int64_t>* matches) const;
+
+  /// Drops all adapted state, returning the session to its pre-
+  /// StartExploration state (the model is untouched).
+  void Reset();
+
+ private:
+  /// Per-subspace online state: the fast-adapted classifier plus the Meta*
+  /// prediction optimizer.
+  struct SubspaceSession {
+    std::unique_ptr<TaskModel> task_model;
+    std::optional<FpFnOptimizer> fpfn;
+  };
+
+  /// Reusable per-lane buffers for the hot prediction path: the raw
+  /// projected point and its encoding. Capacity reaches a steady state after
+  /// the first row, so chunked scans allocate nothing per row.
+  struct Scratch {
+    std::vector<double> point;
+    std::vector<double> encoded;
+  };
+
+  /// FailedPrecondition before StartExploration; InvalidArgument when
+  /// `table` is narrower than an active subspace's attribute indices.
+  Status ValidateServing(const data::Table& table) const;
+
+  /// PredictSubspace body minus the misuse checks (callers validated).
+  double PredictSubspaceUnchecked(int64_t s, const std::vector<double>& point,
+                                  Scratch* scratch) const;
+
+  /// Conjunctive membership of row `r` of `table`; equals
+  /// *PredictRow(table.Row(r)) once ValidateServing(table) passed.
+  double PredictRowInTable(const data::Table& table, int64_t r,
+                           Scratch* scratch) const;
+
+  const ExplorationModel* model_;
+  int64_t num_threads_override_;
+  std::vector<SubspaceSession> states_;
+  int64_t active_count_ = 0;
+  Variant variant_ = Variant::kBasic;
+};
+
+}  // namespace lte::core
+
+#endif  // LTE_CORE_EXPLORATION_SESSION_H_

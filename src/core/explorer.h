@@ -2,72 +2,38 @@
 #define LTE_CORE_EXPLORER_H_
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
-#include "core/meta_learner.h"
-#include "core/meta_task.h"
-#include "core/meta_trainer.h"
-#include "core/optimizer_fpfn.h"
+#include "core/exploration_model.h"
+#include "core/exploration_session.h"
 #include "data/subspace.h"
 #include "data/table.h"
 #include "preprocess/tabular_encoder.h"
 
 namespace lte::core {
 
-/// Which LTE variant answers predictions (paper Section VIII-A).
-enum class Variant {
-  /// Basic UIS classifier: same architecture, randomly initialized, trained
-  /// online only.
-  kBasic,
-  /// Meta: the classifier fast-adapts from meta-learned initialization
-  /// parameters (and memories).
-  kMeta,
-  /// Meta*: Meta plus the FP/FN prediction optimizer.
-  kMetaStar,
-};
-
-/// End-to-end configuration of the LTE framework.
-struct ExplorerOptions {
-  preprocess::EncoderOptions encoder;
-  MetaTaskGenOptions task_gen;
-  MetaLearnerOptions learner;  // tuple_feature_dim is filled per subspace.
-  MetaTrainerOptions trainer;
-  FpFnOptions fpfn;
-  /// |T^M|: meta-tasks generated per meta-subspace (paper default 15000;
-  /// the library defaults smaller — see DESIGN.md).
-  int64_t num_meta_tasks = 200;
-  /// Pool lanes for every Explorer fan-out, offline and online: per-subspace
-  /// task generation + encoding + meta-training in `Pretrain`, per-subspace
-  /// fast adaptation in `StartExploration`, and the chunked table scans of
-  /// `PredictRows`/`RetrieveMatches` all share this one knob on the
-  /// process-wide ThreadPool. The library-wide convention applies: 0 = auto
-  /// (one lane per hardware thread), 1 = the exact sequential path, N caps
-  /// the lanes (matching `MetaTrainerOptions`/`KMeansOptions`). Parallel
-  /// training reads key-split `Rng::Fork(subspace_index)` streams and scans
-  /// collect into per-chunk slots concatenated in row order, so every result
-  /// is bit-identical at any thread count (see rng.h for the split scheme).
-  int64_t num_threads = 0;
-  /// Online fast-adaptation schedule. A larger learning rate than the
-  /// offline ρ is preferred online (paper Fig. 8(d) discussion).
-  int64_t online_steps = 30;
-  int64_t online_batch_size = 16;
-  double online_lr = 0.1;
-};
-
 /// The LTE framework: offline meta-learning over the meta-subspaces of a
 /// table, then few-shot online exploration (paper Figure 2).
 ///
-/// Usage:
+/// `Explorer` is a thin facade bundling one `ExplorationModel` (the shared,
+/// immutable offline artifacts) with one default `ExplorationSession` (this
+/// user's online state) — the natural shape for a single-user program:
+///
 ///   Explorer ex(options);
 ///   ex.Pretrain(table, subspaces, /*train_meta=*/true, &rng);
 ///   // Collect user labels for *ex.InitialTuples(s) in every subspace s...
 ///   ex.StartExploration(labels, Variant::kMetaStar, &rng);
-///   bool interesting = ex.PredictRow(row) > 0.5;
+///   bool interesting = ex.PredictRow(row).value_or(0.0) > 0.5;
+///
+/// Multi-user serving skips the facade: build (or `model().Load`) one
+/// `ExplorationModel` and attach one `ExplorationSession` per concurrent
+/// user — or attach extra sessions to `ex.model()` alongside the facade's
+/// own. See exploration_session.h for the per-class thread-safety contract.
 ///
 /// Misuse-error contract: the query surface never aborts on out-of-range or
 /// premature calls. Accessors taking a subspace index return nullptr,
@@ -76,29 +42,49 @@ struct ExplorerOptions {
 /// internal invariant violations, not through caller mistakes.
 class Explorer {
  public:
-  explicit Explorer(ExplorerOptions options) : options_(options) {}
+  explicit Explorer(ExplorerOptions options)
+      : model_(options), session_(&model_) {}
+
+  // The default session holds a pointer to the model member, so the facade
+  // is pinned to its address.
+  Explorer(const Explorer&) = delete;
+  Explorer& operator=(const Explorer&) = delete;
+
+  /// The shared offline artifacts. Attach additional ExplorationSessions to
+  /// this model to serve more users against the facade's training.
+  const ExplorationModel& model() const { return model_; }
+
+  /// The facade's own online session.
+  const ExplorationSession& session() const { return session_; }
+  ExplorationSession* mutable_session() { return &session_; }
 
   /// Offline phase: fits the tabular encoder, runs the clustering step per
   /// subspace, selects the initial tuples, and — when `train_meta` is set —
   /// generates meta-tasks and meta-trains one meta-learner per subspace.
   /// `train_meta=false` prepares the Basic variant (no pre-training cost).
+  /// Drops any previous online state.
   Status Pretrain(const data::Table& table,
                   const std::vector<data::Subspace>& subspaces,
-                  bool train_meta, Rng* rng);
-
-  int64_t num_subspaces() const {
-    return static_cast<int64_t>(subspaces_.size());
+                  bool train_meta, Rng* rng) {
+    session_.Reset();
+    return model_.Pretrain(table, subspaces, train_meta, rng);
   }
+
+  int64_t num_subspaces() const { return model_.num_subspaces(); }
 
   /// The `s`-th meta-subspace, or nullptr when `s` is out of
   /// [0, num_subspaces()).
-  const data::Subspace* subspace(int64_t s) const;
+  const data::Subspace* subspace(int64_t s) const {
+    return model_.subspace(s);
+  }
 
   /// The tuples of subspace `s` the user labels during initial exploration:
   /// the k_s cluster centers of C^s followed by Δ random tuples, in raw
   /// subspace coordinates. Fixed after Pretrain. Returns nullptr before
   /// Pretrain or when `s` is out of range.
-  const std::vector<std::vector<double>>* InitialTuples(int64_t s) const;
+  const std::vector<std::vector<double>>* InitialTuples(int64_t s) const {
+    return model_.InitialTuples(s);
+  }
 
   /// Online phase: `labels_per_subspace[s][i]` is the 0/1 label of
   /// (*InitialTuples(s))[i]. Fast-adapts a task model per subspace (and
@@ -115,10 +101,12 @@ class Explorer {
   /// thread count (rng itself advances by exactly one draw).
   Status StartExploration(
       const std::vector<std::vector<double>>& labels_per_subspace,
-      Variant variant, Rng* rng);
+      Variant variant, Rng* rng) {
+    return session_.StartExploration(labels_per_subspace, variant, rng);
+  }
 
   /// Number of subspaces adapted by the last StartExploration.
-  int64_t active_subspaces() const { return active_count_; }
+  int64_t active_subspaces() const { return session_.active_subspaces(); }
 
   /// Active-learning hook (paper Section III-B "Iterative exploration"):
   /// ranks `candidates` (raw subspace-`s` points) by the adapted
@@ -129,7 +117,9 @@ class Explorer {
   /// candidate's width differs from the subspace's.
   Status SuggestTuples(int64_t s,
                        const std::vector<std::vector<double>>& candidates,
-                       int64_t k, std::vector<int64_t>* suggested) const;
+                       int64_t k, std::vector<int64_t>* suggested) const {
+    return session_.SuggestTuples(s, candidates, k, suggested);
+  }
 
   /// Iterative exploration (paper Section III-B, "Other IDE Modules"):
   /// feeds additional labelled tuples of subspace `s` (raw subspace
@@ -138,19 +128,25 @@ class Explorer {
   /// learning loop that keeps querying the user.
   Status ContinueExploration(int64_t s,
                              const std::vector<std::vector<double>>& points,
-                             const std::vector<double>& labels, Rng* rng);
+                             const std::vector<double>& labels, Rng* rng) {
+    return session_.ContinueExploration(s, points, labels, rng);
+  }
 
   /// 1.0 when the adapted models consider the subspace point interesting,
   /// 0.0 when not; std::nullopt when `s` is out of range, subspace `s` has
   /// not been adapted by StartExploration, or `point`'s width differs from
   /// the subspace's.
-  std::optional<double> PredictSubspace(int64_t s,
-                                        const std::vector<double>& point) const;
+  std::optional<double> PredictSubspace(
+      int64_t s, const std::vector<double>& point) const {
+    return session_.PredictSubspace(s, point);
+  }
 
   /// Conjunctive UIR membership of a full-width table row (paper Section
   /// III-A: R^u = ∧ R_i): 1.0 / 0.0, or std::nullopt before
   /// StartExploration or when `row` is too narrow for an active subspace.
-  std::optional<double> PredictRow(const std::vector<double>& row) const;
+  std::optional<double> PredictRow(const std::vector<double>& row) const {
+    return session_.PredictRow(row);
+  }
 
   /// Batch counterpart of PredictRow and the primitive RetrieveMatches and
   /// the bench harness build on: evaluates the conjunctive membership of the
@@ -161,7 +157,9 @@ class Explorer {
   /// StartExploration, when `table` is narrower than an active subspace's
   /// attributes, or on an out-of-range row index.
   Status PredictRows(const data::Table& table, std::span<const int64_t> rows,
-                     std::vector<double>* predictions) const;
+                     std::vector<double>* predictions) const {
+    return session_.PredictRows(table, rows, predictions);
+  }
 
   /// Final retrieval (paper Section III-B): scans `table` and stores the row
   /// indices the adapted classifiers predict interesting — in ascending row
@@ -174,68 +172,54 @@ class Explorer {
   /// is bit-identical at any thread count. Fails before StartExploration or
   /// when `table` is narrower than an active subspace's attributes.
   Status RetrieveMatches(const data::Table& table, int64_t limit,
-                         std::vector<int64_t>* matches) const;
+                         std::vector<int64_t>* matches) const {
+    return session_.RetrieveMatches(table, limit, matches);
+  }
 
   /// Per-subspace generator (exposes the clustering context), or nullptr
   /// before Pretrain or when `s` is out of range.
-  const MetaTaskGenerator* generator(int64_t s) const;
-  const preprocess::TabularEncoder& encoder() const { return encoder_; }
-  const ExplorerOptions& options() const { return options_; }
-  bool meta_trained() const { return meta_trained_; }
+  const MetaTaskGenerator* generator(int64_t s) const {
+    return model_.generator(s);
+  }
+  const preprocess::TabularEncoder& encoder() const {
+    return model_.encoder();
+  }
+  const ExplorerOptions& options() const { return model_.options(); }
+  bool meta_trained() const { return model_.meta_trained(); }
 
   /// Pre-training statistics (for the Figure 8(b) cost analysis). Summed
   /// over subspaces, i.e. total work; with num_threads > 1 the subspaces
   /// overlap in time, so wall clock is lower than these totals.
-  double task_generation_seconds() const { return task_generation_seconds_; }
-  double meta_training_seconds() const { return meta_training_seconds_; }
+  double task_generation_seconds() const {
+    return model_.task_generation_seconds();
+  }
+  double meta_training_seconds() const {
+    return model_.meta_training_seconds();
+  }
 
   /// Model persistence: writes the full pre-trained state (options, tabular
   /// encoder, per-subspace clustering contexts, initial tuples, and trained
   /// meta-learners) to `path`. Offline training and online serving can then
-  /// live in separate processes. Requires Pretrain to have run.
-  Status Save(const std::string& path) const;
+  /// live in separate processes. Requires Pretrain to have run. The format
+  /// is `ExplorationModel`'s — files round-trip freely between the facade
+  /// and a bare model.
+  Status Save(const std::string& path) const { return model_.Save(path); }
 
-  /// Restores a pre-trained Explorer saved by Save, replacing this
-  /// instance's state. Online exploration (StartExploration/PredictRow) is
-  /// available immediately; no re-clustering or re-training happens. The
-  /// threading knob (`num_threads`) is a property of the serving host, not
-  /// of the model, so the constructed value survives the load.
-  Status LoadModel(const std::string& path);
+  /// Restores a pre-trained model saved by Save (or by
+  /// `ExplorationModel::Save`), replacing this instance's state. Online
+  /// exploration (StartExploration/PredictRow) is available immediately; no
+  /// re-clustering or re-training happens. The threading knob
+  /// (`num_threads`) is a property of the serving host, not of the model, so
+  /// the constructed value survives the load. Drops any previous online
+  /// state.
+  Status LoadModel(const std::string& path) {
+    session_.Reset();
+    return model_.Load(path);
+  }
 
  private:
-  struct SubspaceState {
-    MetaTaskGenerator generator{MetaTaskGenOptions{}};
-    std::vector<std::vector<double>> initial_tuples;
-    std::unique_ptr<MetaLearner> meta_learner;
-    // Online state.
-    std::unique_ptr<TaskModel> task_model;
-    std::optional<FpFnOptimizer> fpfn;
-  };
-
-  TupleEncoder MakeEncoder(int64_t s) const;
-
-  /// FailedPrecondition before StartExploration; InvalidArgument when
-  /// `table` is narrower than an active subspace's attribute indices.
-  Status ValidateServing(const data::Table& table) const;
-
-  /// PredictSubspace body minus the misuse checks (callers validated).
-  double PredictSubspaceUnchecked(int64_t s,
-                                  const std::vector<double>& point) const;
-
-  /// Conjunctive membership of row `r` of `table`; equals
-  /// *PredictRow(table.Row(r)) once ValidateServing(table) passed.
-  double PredictRowInTable(const data::Table& table, int64_t r) const;
-
-  ExplorerOptions options_;
-  preprocess::TabularEncoder encoder_;
-  std::vector<data::Subspace> subspaces_;
-  std::vector<SubspaceState> states_;
-  bool pretrained_ = false;
-  bool meta_trained_ = false;
-  int64_t active_count_ = 0;
-  Variant variant_ = Variant::kBasic;
-  double task_generation_seconds_ = 0.0;
-  double meta_training_seconds_ = 0.0;
+  ExplorationModel model_;
+  ExplorationSession session_;
 };
 
 }  // namespace lte::core

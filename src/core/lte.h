@@ -7,18 +7,24 @@
 /// Data Exploration with Meta-learning") bootstraps explore-by-example data
 /// exploration with meta-learned neural classifiers:
 ///
-///   * Offline, `core::Explorer::Pretrain` decomposes the data space into
-///     meta-subspaces, generates unsupervised meta-tasks
+///   * Offline, `core::ExplorationModel::Pretrain` decomposes the data space
+///     into meta-subspaces, generates unsupervised meta-tasks
 ///     (`core::MetaTaskGenerator`), and meta-trains one memory-augmented
-///     classifier per subspace (`core::MetaLearner`, `core::MetaTrain`).
-///   * Online, the user labels a few initial tuples per subspace
-///     (`core::Explorer::InitialTuples`); `core::Explorer::StartExploration`
+///     classifier per subspace (`core::MetaLearner`, `core::MetaTrain`). The
+///     resulting model is immutable and shareable across threads.
+///   * Online, each user holds a `core::ExplorationSession` against the
+///     shared model: they label a few initial tuples per subspace
+///     (`core::ExplorationModel::InitialTuples`), `StartExploration`
 ///     fast-adapts the meta-learners and (for the Meta* variant) the FP/FN
-///     optimizer, after which `core::Explorer::PredictRow` answers UIR
+///     optimizer, after which `PredictRow`/`RetrieveMatches` answer UIR
 ///     membership for arbitrary tuples.
+///   * `core::Explorer` bundles one model with one default session for the
+///     single-user case.
 ///
 /// See examples/quickstart.cc for a complete walkthrough.
 
+#include "core/exploration_model.h"    // IWYU pragma: export
+#include "core/exploration_session.h"  // IWYU pragma: export
 #include "core/explorer.h"       // IWYU pragma: export
 #include "core/meta_learner.h"   // IWYU pragma: export
 #include "core/meta_task.h"      // IWYU pragma: export

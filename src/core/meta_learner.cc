@@ -312,6 +312,13 @@ void TaskModel::ZeroGrad() {
   if (use_memory_) grad_m_cp_.Fill(0.0);
 }
 
+void TaskModel::WarmUisEmbedding() {
+  if (!emb_r_valid_) {
+    emb_r_cache_ = f_r_.Forward(uis_feature_);
+    emb_r_valid_ = true;
+  }
+}
+
 double TaskModel::Logit(const std::vector<double>& tuple) const {
   if (!emb_r_valid_) {
     emb_r_cache_ = f_r_.Forward(uis_feature_);

@@ -60,10 +60,22 @@ class TaskModel {
   void ZeroGrad();
 
   /// Classifier output before the sigmoid for one encoded tuple.
+  ///
+  /// Thread-safety: the first call after a parameter update lazily refreshes
+  /// the cached UIS embedding (a benign-looking but real write under const).
+  /// Call WarmUisEmbedding() once after the last update before fanning
+  /// predictions out across threads; with a warm cache all const methods are
+  /// safe to call concurrently.
   double Logit(const std::vector<double>& tuple) const;
 
-  /// P(interesting) for one encoded tuple.
+  /// P(interesting) for one encoded tuple. Same thread-safety contract as
+  /// Logit.
   double PredictProbability(const std::vector<double>& tuple) const;
+
+  /// Eagerly refreshes the cached UIS embedding emb_R so that subsequent
+  /// const predictions perform no writes at all — the required handshake
+  /// between adaptation (single-threaded) and serving (parallel scans).
+  void WarmUisEmbedding();
 
   /// Mean BCE loss over a labelled set (no gradient accumulation).
   double EvaluateLoss(const std::vector<std::vector<double>>& tuples,

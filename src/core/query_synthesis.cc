@@ -92,17 +92,18 @@ std::string SynthesizedQuery::ToSql(
   return sql.str();
 }
 
-Status SynthesizeQuery(const Explorer& explorer,
+Status SynthesizeQuery(const ExplorationSession& session,
                        const QuerySynthesisOptions& options,
                        SynthesizedQuery* query) {
-  if (explorer.active_subspaces() == 0) {
+  if (session.active_subspaces() == 0) {
     return Status::FailedPrecondition(
         "query synthesis: StartExploration has not run");
   }
+  const ExplorationModel& model = session.model();
   SynthesizedQuery out;
-  for (int64_t s = 0; s < explorer.active_subspaces(); ++s) {
-    const data::Subspace* subspace = explorer.subspace(s);
-    const MetaTaskGenerator* generator = explorer.generator(s);
+  for (int64_t s = 0; s < session.active_subspaces(); ++s) {
+    const data::Subspace* subspace = model.subspace(s);
+    const MetaTaskGenerator* generator = model.generator(s);
     if (subspace == nullptr || generator == nullptr) {
       return Status::Internal("query synthesis: active subspace " +
                               std::to_string(s) + " has no state");
@@ -118,7 +119,7 @@ Status SynthesizeQuery(const Explorer& explorer,
     labels.reserve(points.size());
     int64_t positives = 0;
     for (const auto& p : points) {
-      const std::optional<double> pred = explorer.PredictSubspace(s, p);
+      const std::optional<double> pred = session.PredictSubspace(s, p);
       if (!pred.has_value()) {
         return Status::Internal("query synthesis: prediction unavailable in "
                                 "active subspace " + std::to_string(s));
@@ -172,6 +173,12 @@ Status SynthesizeQuery(const Explorer& explorer,
   }
   *query = std::move(out);
   return Status::OK();
+}
+
+Status SynthesizeQuery(const Explorer& explorer,
+                       const QuerySynthesisOptions& options,
+                       SynthesizedQuery* query) {
+  return SynthesizeQuery(explorer.session(), options, query);
 }
 
 }  // namespace lte::core

@@ -57,12 +57,17 @@ struct SynthesizedQuery {
                         nullptr) const;
 };
 
-/// Distills the current adapted exploration of `explorer` into a
+/// Distills the current adapted exploration of `session` into a
 /// `SynthesizedQuery` (paper Section III-B, "Final retrieval": infer query
 /// regions from the trained classifiers and transform them to query
 /// filters). Per subspace it labels the clustering sample points with the
 /// adapted classifier, fits a CART to those labels, and reads the positive
 /// leaves off as boxes. Fails unless StartExploration has run.
+Status SynthesizeQuery(const ExplorationSession& session,
+                       const QuerySynthesisOptions& options,
+                       SynthesizedQuery* query);
+
+/// Facade convenience: synthesizes from `explorer`'s default session.
 Status SynthesizeQuery(const Explorer& explorer,
                        const QuerySynthesisOptions& options,
                        SynthesizedQuery* query);

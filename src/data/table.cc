@@ -77,6 +77,15 @@ std::vector<double> Table::RowProjected(
   return out;
 }
 
+void Table::RowProjectedInto(int64_t row, const std::vector<int64_t>& cols,
+                             std::vector<double>* out) const {
+  LTE_CHECK_GE(row, 0);
+  LTE_CHECK_LT(row, num_rows_);
+  out->clear();
+  out->reserve(cols.size());
+  for (int64_t c : cols) out->push_back(column(c).value(row));
+}
+
 Table Table::Project(const std::vector<int64_t>& cols) const {
   Table out;
   for (int64_t c : cols) {

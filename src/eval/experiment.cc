@@ -65,22 +65,22 @@ Status ExperimentRunner::Init() {
   return Status::OK();
 }
 
-Status ExperimentRunner::EnsureExplorer(int64_t budget, bool train_meta) {
+Status ExperimentRunner::EnsureModel(int64_t budget, bool train_meta) {
   LTE_CHECK_MSG(initialized_, "runner: Init has not run");
   const int64_t k_s = budget - options_.explorer.task_gen.delta;
   if (k_s < 2) {
     return Status::InvalidArgument("runner: budget too small for k_s >= 2");
   }
-  auto it = explorers_.find(budget);
-  if (it != explorers_.end() && (it->second.meta || !train_meta)) {
+  auto it = models_.find(budget);
+  if (it != models_.end() && (it->second.meta || !train_meta)) {
     return Status::OK();
   }
   core::ExplorerOptions opt = options_.explorer;
   opt.task_gen.k_s = k_s;
-  auto explorer = std::make_unique<core::Explorer>(opt);
+  auto model = std::make_unique<core::ExplorationModel>(opt);
   LTE_RETURN_IF_ERROR(
-      explorer->Pretrain(normalized_table_, subspaces_, train_meta, &rng_));
-  explorers_[budget] = CachedExplorer{std::move(explorer), train_meta};
+      model->Pretrain(normalized_table_, subspaces_, train_meta, &rng_));
+  models_[budget] = CachedModel{std::move(model), train_meta};
   return Status::OK();
 }
 
@@ -119,14 +119,14 @@ Status ExperimentRunner::RunLte(core::Variant variant,
                                 const GroundTruthUir& uir, int64_t budget,
                                 ExperimentResult* result) {
   const bool needs_meta = variant != core::Variant::kBasic;
-  LTE_RETURN_IF_ERROR(EnsureExplorer(budget, needs_meta));
-  core::Explorer& ex = *explorers_.at(budget).explorer;
+  LTE_RETURN_IF_ERROR(EnsureModel(budget, needs_meta));
+  const core::ExplorationModel& model = *models_.at(budget).model;
 
   const auto active = static_cast<int64_t>(uir.subspaces.size());
   std::vector<std::vector<double>> labels(static_cast<size_t>(active));
   int64_t labels_used = 0;
   for (int64_t s = 0; s < active; ++s) {
-    for (const auto& tuple : *ex.InitialTuples(s)) {
+    for (const auto& tuple : *model.InitialTuples(s)) {
       labels[static_cast<size_t>(s)].push_back(MaybeFlip(
           uir.ContainsSubspacePoint(s, tuple) ? 1.0 : 0.0,
           options_.label_noise, &rng_));
@@ -134,13 +134,16 @@ Status ExperimentRunner::RunLte(core::Variant variant,
     }
   }
 
+  // Each run is one simulated user: a fresh session against the cached
+  // (shared, immutable) model.
+  core::ExplorationSession session(&model);
   Stopwatch sw;
-  LTE_RETURN_IF_ERROR(ex.StartExploration(labels, variant, &rng_));
+  LTE_RETURN_IF_ERROR(session.StartExploration(labels, variant, &rng_));
   result->online_seconds = sw.ElapsedSeconds();
   result->labels_used = labels_used;
   Score(uir,
-        [&ex](const std::vector<double>& row) {
-          return ex.PredictRow(row).value_or(0.0);
+        [&session](const std::vector<double>& row) {
+          return session.PredictRow(row).value_or(0.0);
         },
         result);
   return Status::OK();
@@ -150,11 +153,11 @@ Status ExperimentRunner::RunSubspaceSvm(bool encoded,
                                         const GroundTruthUir& uir,
                                         int64_t budget,
                                         ExperimentResult* result) {
-  // Reuse any cached explorer for this budget so all methods share the same
+  // Reuse any cached model for this budget so all methods share the same
   // initial tuples (paper Section VIII-C: "All competitors are fed with the
   // same set of initial training tuples").
-  LTE_RETURN_IF_ERROR(EnsureExplorer(budget, /*train_meta=*/false));
-  core::Explorer& ex = *explorers_.at(budget).explorer;
+  LTE_RETURN_IF_ERROR(EnsureModel(budget, /*train_meta=*/false));
+  const core::ExplorationModel& model = *models_.at(budget).model;
 
   const auto active = static_cast<int64_t>(uir.subspaces.size());
   std::vector<svm::Svm> models(static_cast<size_t>(active));
@@ -163,8 +166,8 @@ Status ExperimentRunner::RunSubspaceSvm(bool encoded,
   for (int64_t s = 0; s < active; ++s) {
     std::vector<std::vector<double>> x;
     std::vector<double> y;
-    for (const auto& tuple : *ex.InitialTuples(s)) {
-      x.push_back(encoded ? ex.encoder().EncodeProjected(
+    for (const auto& tuple : *model.InitialTuples(s)) {
+      x.push_back(encoded ? model.encoder().EncodeProjected(
                                 tuple, uir.subspaces[static_cast<size_t>(s)]
                                            .attribute_indices)
                           : tuple);
@@ -185,7 +188,7 @@ Status ExperimentRunner::RunSubspaceSvm(bool encoded,
         point.push_back(row[static_cast<size_t>(a)]);
       }
       const std::vector<double> features =
-          encoded ? ex.encoder().EncodeProjected(
+          encoded ? model.encoder().EncodeProjected(
                         point,
                         uir.subspaces[static_cast<size_t>(s)].attribute_indices)
                   : point;
@@ -336,16 +339,14 @@ Status ExperimentRunner::FindBudgetForTarget(
 }
 
 double ExperimentRunner::PretrainSeconds(int64_t budget) const {
-  auto it = explorers_.find(budget);
-  return it == explorers_.end() ? 0.0
-                                : it->second.explorer->meta_training_seconds();
+  auto it = models_.find(budget);
+  return it == models_.end() ? 0.0 : it->second.model->meta_training_seconds();
 }
 
 double ExperimentRunner::TaskGenSeconds(int64_t budget) const {
-  auto it = explorers_.find(budget);
-  return it == explorers_.end()
-             ? 0.0
-             : it->second.explorer->task_generation_seconds();
+  auto it = models_.find(budget);
+  return it == models_.end() ? 0.0
+                             : it->second.model->task_generation_seconds();
 }
 
 }  // namespace lte::eval

@@ -70,7 +70,9 @@ struct ExperimentResult {
 
 /// Drives every experiment of the paper: owns the (normalized) dataset, an
 /// independent ground-truth UIR generator, the evaluation row sample, and a
-/// cache of pre-trained Explorers keyed by labelling budget.
+/// cache of pre-trained `ExplorationModel`s keyed by labelling budget (each
+/// run attaches a fresh `ExplorationSession` — the shape a serving
+/// deployment uses).
 ///
 /// Budget convention (paper Section VIII-A): for the LTE variants B is the
 /// per-subspace support-set size (k_s + Δ = B); for the active-learning
@@ -84,10 +86,10 @@ class ExperimentRunner {
   /// ground-truth UIR generator. Must be called before anything else.
   Status Init();
 
-  /// Pre-trains (and caches) the Explorer for a budget. `train_meta=false`
-  /// prepares contexts only (enough for Basic / SVM / SVM^r). Re-invoking
-  /// with train_meta=true upgrades a context-only explorer.
-  Status EnsureExplorer(int64_t budget, bool train_meta);
+  /// Pre-trains (and caches) the ExplorationModel for a budget.
+  /// `train_meta=false` prepares contexts only (enough for Basic / SVM /
+  /// SVM^r). Re-invoking with train_meta=true upgrades a context-only model.
+  Status EnsureModel(int64_t budget, bool train_meta);
 
   /// Ground-truth UIR over the first `num_subspaces` subspaces.
   GroundTruthUir GenerateUir(const UisMode& mode, int64_t num_subspaces);
@@ -111,7 +113,7 @@ class ExperimentRunner {
   const data::Table& normalized_table() const { return normalized_table_; }
   const std::vector<data::Subspace>& subspaces() const { return subspaces_; }
 
-  /// Pre-training cost of the cached meta explorer for `budget` (Figure
+  /// Pre-training cost of the cached meta model for `budget` (Figure
   /// 8(b)); 0 when not trained.
   double PretrainSeconds(int64_t budget) const;
   double TaskGenSeconds(int64_t budget) const;
@@ -141,11 +143,11 @@ class ExperimentRunner {
   std::vector<int64_t> eval_rows_;
   std::vector<int64_t> pool_rows_;
 
-  struct CachedExplorer {
-    std::unique_ptr<core::Explorer> explorer;
+  struct CachedModel {
+    std::unique_ptr<core::ExplorationModel> model;
     bool meta = false;
   };
-  std::map<int64_t, CachedExplorer> explorers_;  // Keyed by budget.
+  std::map<int64_t, CachedModel> models_;  // Keyed by budget.
 };
 
 }  // namespace lte::eval

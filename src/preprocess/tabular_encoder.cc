@@ -197,13 +197,20 @@ void TabularEncoder::EncodeValue(int64_t attr, double x,
 std::vector<double> TabularEncoder::EncodeProjected(
     const std::vector<double>& values,
     const std::vector<int64_t>& attrs) const {
-  LTE_CHECK_EQ(values.size(), attrs.size());
   std::vector<double> out;
-  out.reserve(static_cast<size_t>(ProjectedWidth(attrs)));
-  for (size_t i = 0; i < attrs.size(); ++i) {
-    EncodeValue(attrs[i], values[i], &out);
-  }
+  EncodeProjectedInto(values, attrs, &out);
   return out;
+}
+
+void TabularEncoder::EncodeProjectedInto(const std::vector<double>& values,
+                                         const std::vector<int64_t>& attrs,
+                                         std::vector<double>* out) const {
+  LTE_CHECK_EQ(values.size(), attrs.size());
+  out->clear();
+  out->reserve(static_cast<size_t>(ProjectedWidth(attrs)));
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    EncodeValue(attrs[i], values[i], out);
+  }
 }
 
 std::vector<double> TabularEncoder::EncodeRow(

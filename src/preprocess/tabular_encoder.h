@@ -88,6 +88,13 @@ class TabularEncoder {
   std::vector<double> EncodeProjected(const std::vector<double>& values,
                                       const std::vector<int64_t>& attrs) const;
 
+  /// Allocation-free variant of EncodeProjected for hot prediction loops:
+  /// clears and refills `*out` (capacity is retained across calls, so a
+  /// reused buffer reaches a steady state with zero allocations per call).
+  void EncodeProjectedInto(const std::vector<double>& values,
+                           const std::vector<int64_t>& attrs,
+                           std::vector<double>* out) const;
+
   /// Encodes a full-width row (all attributes in column order).
   std::vector<double> EncodeRow(const std::vector<double>& row) const;
 

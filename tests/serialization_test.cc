@@ -188,6 +188,111 @@ TEST(SerializationTest, ExplorerRoundTripPreservesExploration) {
   }
 }
 
+// The legacy facade surface (Explorer::Save / LoadModel) and the bare
+// ExplorationModel::Save / Load share one on-disk format: files written by
+// either side load on the other with identical downstream behavior.
+TEST(SerializationTest, FacadeAndModelFormatsAreInterchangeable) {
+  Rng rng(6);
+  data::Table table = data::MakeBlobs(3000, 4, 4, &rng);
+  core::ExplorerOptions opt;
+  opt.task_gen.k_u = 30;
+  opt.task_gen.k_s = 10;
+  opt.task_gen.k_q = 30;
+  opt.learner.embedding_size = 12;
+  opt.learner.clf_hidden = {12};
+  opt.learner.num_memory_modes = 3;
+  opt.num_meta_tasks = 25;
+  opt.trainer.epochs = 3;
+  opt.trainer.local_steps = 3;
+  std::vector<data::Subspace> subspaces = {data::Subspace{{0, 1}},
+                                           data::Subspace{{2, 3}}};
+  core::Explorer facade(opt);
+  ASSERT_TRUE(
+      facade.Pretrain(table, subspaces, /*train_meta=*/true, &rng).ok());
+
+  // Facade-written file → bare model.
+  const std::string facade_path = testing::TempDir() + "/facade.ltemodel";
+  ASSERT_TRUE(facade.Save(facade_path).ok());
+  core::ExplorationModel model(core::ExplorerOptions{});
+  ASSERT_TRUE(model.Load(facade_path).ok());
+  EXPECT_TRUE(model.meta_trained());
+  ASSERT_EQ(model.num_subspaces(), 2);
+  EXPECT_EQ(*model.InitialTuples(0), *facade.InitialTuples(0));
+
+  // Model-written file → facade. Saving the just-loaded model must
+  // reproduce the original bytes exactly (same format, no lossy fields).
+  const std::string model_path = testing::TempDir() + "/model.ltemodel";
+  ASSERT_TRUE(model.Save(model_path).ok());
+  std::ifstream in_a(facade_path, std::ios::binary);
+  std::ifstream in_b(model_path, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(in_a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(in_b)),
+                            std::istreambuf_iterator<char>());
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+
+  core::Explorer restored(core::ExplorerOptions{});
+  ASSERT_TRUE(restored.LoadModel(model_path).ok());
+
+  // All three adapt with identical labels and rngs and must agree exactly.
+  std::vector<std::vector<double>> labels(2);
+  for (int s = 0; s < 2; ++s) {
+    for (const auto& t : *facade.InitialTuples(s)) {
+      labels[static_cast<size_t>(s)].push_back(t[0] < 5.0 ? 1.0 : 0.0);
+    }
+  }
+  Rng rng_a(99);
+  Rng rng_b(99);
+  Rng rng_c(99);
+  core::ExplorationSession session(&model);
+  ASSERT_TRUE(
+      facade.StartExploration(labels, core::Variant::kMetaStar, &rng_a).ok());
+  ASSERT_TRUE(
+      session.StartExploration(labels, core::Variant::kMetaStar, &rng_b)
+          .ok());
+  ASSERT_TRUE(
+      restored.StartExploration(labels, core::Variant::kMetaStar, &rng_c)
+          .ok());
+  for (int64_t r = 0; r < 50; ++r) {
+    const double truth = facade.PredictRow(table.Row(r)).value_or(-1.0);
+    EXPECT_EQ(truth, session.PredictRow(table.Row(r)).value_or(-2.0));
+    EXPECT_EQ(truth, restored.PredictRow(table.Row(r)).value_or(-3.0));
+  }
+}
+
+TEST(SerializationTest, ModelLoadPreservesConstructedThreadKnob) {
+  Rng rng(7);
+  data::Table table = data::MakeBlobs(2000, 2, 3, &rng);
+  core::ExplorerOptions opt;
+  opt.task_gen.k_u = 20;
+  opt.task_gen.k_s = 8;
+  opt.task_gen.k_q = 20;
+  opt.learner.embedding_size = 8;
+  opt.learner.clf_hidden = {8};
+  opt.learner.num_memory_modes = 3;
+  opt.num_meta_tasks = 10;
+  opt.trainer.epochs = 2;
+  opt.trainer.local_steps = 2;
+  core::ExplorationModel trained(opt);
+  ASSERT_TRUE(trained
+                  .Pretrain(table, {data::Subspace{{0, 1}}},
+                            /*train_meta=*/false, &rng)
+                  .ok());
+  const std::string path = testing::TempDir() + "/threads.ltemodel";
+  ASSERT_TRUE(trained.Save(path).ok());
+
+  core::ExplorerOptions host_opt;
+  host_opt.num_threads = 3;
+  host_opt.trainer.num_threads = 2;
+  core::ExplorationModel host(host_opt);
+  ASSERT_TRUE(host.Load(path).ok());
+  EXPECT_EQ(host.options().num_threads, 3);
+  EXPECT_EQ(host.options().trainer.num_threads, 2);
+  // The serialized hyper-parameters did come from the file.
+  EXPECT_EQ(host.options().task_gen.k_s, 8);
+}
+
 TEST(SerializationTest, LoadRejectsGarbage) {
   const std::string path = testing::TempDir() + "/garbage.ltemodel";
   std::ofstream out(path, std::ios::binary);
