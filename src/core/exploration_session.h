@@ -28,6 +28,19 @@ enum class Variant {
   kMetaStar,
 };
 
+/// Which implementation backs the chunked table scans (`PredictRows`,
+/// `RetrieveMatches`). Both produce byte-identical output; the row path is
+/// retained as the validation/benchmark reference for the columnar fast
+/// path (see DESIGN.md §2b "Columnar serving path").
+enum class ScanPath {
+  /// Default: evaluate one subspace at a time over 1024-row blocks gathered
+  /// straight from column views, with a survivor bitmask carrying the
+  /// conjunctive early-reject between subspaces.
+  kColumnar,
+  /// Reference: materialize each row and loop subspaces per row.
+  kRowAtATime,
+};
+
 /// One user's online exploration against a shared `ExplorationModel` (paper
 /// Figure 2, online phase): the fast-adapted per-subspace task models, the
 /// Meta* FP/FN optimizers, and the full query surface.
@@ -160,6 +173,16 @@ class ExplorationSession {
   /// StartExploration state (the model is untouched).
   void Reset();
 
+  /// Scan implementation behind PredictRows/RetrieveMatches. The default
+  /// kColumnar is the fast path; kRowAtATime keeps the reference
+  /// implementation reachable for validation and benchmarking. Results are
+  /// byte-identical either way (test-enforced), so this knob — like
+  /// num_threads — changes scheduling and speed, never output. Single-writer
+  /// like the mutating calls: do not flip it concurrently with this
+  /// session's queries.
+  ScanPath scan_path() const { return scan_path_; }
+  void set_scan_path(ScanPath path) { scan_path_ = path; }
+
  private:
   /// Per-subspace online state: the fast-adapted classifier plus the Meta*
   /// prediction optimizer.
@@ -175,6 +198,33 @@ class ExplorationSession {
     std::vector<double> point;
     std::vector<double> encoded;
   };
+
+  /// Reusable per-lane buffers for the columnar fast path. All capacities
+  /// reach a steady state after the first block.
+  struct BlockScratch {
+    std::vector<uint8_t> alive;      // Survivor bitmask over the block.
+    std::vector<int64_t> survivors;  // Block positions still positive.
+    std::vector<int64_t> next;       // Survivors after the current subspace.
+    std::vector<int64_t> gather;     // Table row ids of the survivors.
+    std::vector<std::span<const double>> columns;  // Active subspace's views.
+    std::vector<double> encoded;     // Survivors x width scratch matrix.
+    std::vector<double> probs;       // One probability per survivor.
+    std::vector<double> point;       // Raw point for the FP/FN refiner.
+    TaskModel::BatchScratch batch;
+  };
+
+  /// Columnar evaluation of one block of row indices (any order, at most
+  /// ~1024 at a time for cache-sized scratch): for each active subspace in
+  /// conjunction order, gathers the subspace's attribute columns for the
+  /// rows still predicted positive, encodes them into the reusable scratch
+  /// matrix, scores the whole block through the batch forward, and clears
+  /// rejected rows from the survivor bitmask so later subspaces only score
+  /// surviving rows — the same early-reject the row-at-a-time loop performs
+  /// per row. Writes `rows.size()` 0.0/1.0 values to `out`, bit-identical to
+  /// PredictRowInTable per row (callers validated via ValidateServing).
+  void PredictBlockColumnar(const data::Table& table,
+                            std::span<const int64_t> rows,
+                            BlockScratch* scratch, double* out) const;
 
   /// FailedPrecondition before StartExploration; InvalidArgument when
   /// `table` is narrower than an active subspace's attribute indices.
@@ -194,6 +244,7 @@ class ExplorationSession {
   std::vector<SubspaceSession> states_;
   int64_t active_count_ = 0;
   Variant variant_ = Variant::kBasic;
+  ScanPath scan_path_ = ScanPath::kColumnar;
 };
 
 }  // namespace lte::core

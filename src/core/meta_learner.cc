@@ -1,5 +1,7 @@
 #include "core/meta_learner.h"
 
+#include <algorithm>
+
 #include <cmath>
 
 #include "common/check.h"
@@ -329,6 +331,111 @@ double TaskModel::Logit(const std::vector<double>& tuple) const {
 
 double TaskModel::PredictProbability(const std::vector<double>& tuple) const {
   return nn::Sigmoid(Logit(tuple));
+}
+
+void TaskModel::PredictProbabilityBatch(std::span<const double> tuples,
+                                        int64_t count, BatchScratch* scratch,
+                                        std::span<double> out) const {
+  LTE_CHECK_GE(count, 0);
+  LTE_CHECK_EQ(static_cast<int64_t>(out.size()), count);
+  if (count == 0) return;
+  if (!emb_r_valid_) {
+    emb_r_cache_ = f_r_.Forward(uis_feature_);
+    emb_r_valid_ = true;
+  }
+  const auto ne = static_cast<int64_t>(emb_r_cache_.size());
+  const int64_t in_w = f_tau_.in_features();
+
+  // The emb_R-dependent prefixes are the same for every row; evaluate them
+  // once per call.
+  if (use_memory_) {
+    // c = M_cp · [emb_R; emb_tau]. `mcp_left[o]` is the exact running-sum
+    // prefix that MatVec reaches after the first N_e terms, and each row
+    // continues the accumulation over its emb_tau half in the same order —
+    // bit-identical to the per-row product.
+    scratch->mcp_left.resize(static_cast<size_t>(ne));
+    for (int64_t o = 0; o < ne; ++o) {
+      const double* w = m_cp_.data().data() + o * 2 * ne;
+      double s = 0.0;
+      for (int64_t c = 0; c < ne; ++c) {
+        s += w[c] * emb_r_cache_[static_cast<size_t>(c)];
+      }
+      scratch->mcp_left[static_cast<size_t>(o)] = s;
+    }
+  } else {
+    // Plain MAML: f_clf reads the concatenation [emb_R, emb_tau]. Fold the
+    // constant emb_R head into a first-layer prefix so rows feed f_clf just
+    // their emb_tau half — no per-row copy of emb_R and half the layer-1
+    // multiply-accumulates, with the accumulation order unchanged.
+    f_clf_.ComputeFirstLayerPrefix(emb_r_cache_, &scratch->clf1_left);
+  }
+
+  // Slice the batch so the per-stage activations (emb_tau, clf_in, logits)
+  // stay cache-resident while each weight matrix streams over them; a full
+  // 1024-row block's activations otherwise evict the weights between stages.
+  // Rows are independent and tile boundaries restart cleanly at every
+  // multiple of kRowTile, so slicing cannot change any output bit.
+  constexpr int64_t kSlice = 128;
+  for (int64_t s0 = 0; s0 < count; s0 += kSlice) {
+    const int64_t sc = std::min(kSlice, count - s0);
+    const std::span<const double> slice =
+        tuples.subspan(static_cast<size_t>(s0 * in_w),
+                       static_cast<size_t>(sc * in_w));
+    f_tau_.ForwardBatchInto(slice, sc, &scratch->mlp, &scratch->emb_tau);
+
+    if (use_memory_) {
+      scratch->clf_in.resize(static_cast<size_t>(sc * ne));
+      // Row-tiled like Mlp::ForwardBatchInto: each M_cp row is streamed once
+      // per tile rather than once per tuple, the inner loop runs kRowTile
+      // independent scalar accumulator chains, and the tile rows are read in
+      // place at stride N_e (a transposed pack measures slower on the
+      // deployment hosts — see the note in Mlp::ForwardBatchInto).
+      // Accumulator t starts from the shared prefix and adds row t's tau
+      // terms in ascending order — the per-row operation sequence of the
+      // reference MatVec, so the product stays bit-identical.
+      constexpr int64_t kRowTile = 8;
+      const int64_t full = sc - sc % kRowTile;
+      for (int64_t n0 = 0; n0 < full; n0 += kRowTile) {
+        const double* base = scratch->emb_tau.data() + n0 * ne;
+        for (int64_t o = 0; o < ne; ++o) {
+          const double* w = m_cp_.data().data() + o * 2 * ne + ne;
+          double acc[kRowTile];
+          for (int64_t t = 0; t < kRowTile; ++t) {
+            acc[t] = scratch->mcp_left[static_cast<size_t>(o)];
+          }
+          for (int64_t c = 0; c < ne; ++c) {
+            const double wc = w[c];
+            for (int64_t t = 0; t < kRowTile; ++t) {
+              acc[t] += wc * base[t * ne + c];
+            }
+          }
+          for (int64_t t = 0; t < kRowTile; ++t) {
+            scratch->clf_in.data()[(n0 + t) * ne + o] = acc[t];
+          }
+        }
+      }
+      // Ragged tail: one row at a time, identical per-row operation order.
+      for (int64_t n = full; n < sc; ++n) {
+        const double* tau = scratch->emb_tau.data() + n * ne;
+        for (int64_t o = 0; o < ne; ++o) {
+          const double* w = m_cp_.data().data() + o * 2 * ne + ne;
+          double s = scratch->mcp_left[static_cast<size_t>(o)];
+          for (int64_t c = 0; c < ne; ++c) s += w[c] * tau[c];
+          scratch->clf_in.data()[n * ne + o] = s;
+        }
+      }
+      f_clf_.ForwardBatchInto(scratch->clf_in, sc, &scratch->mlp,
+                              &scratch->logits);
+    } else {
+      f_clf_.ForwardBatchInto(scratch->emb_tau, sc, &scratch->mlp,
+                              &scratch->logits, scratch->clf1_left);
+    }
+
+    for (int64_t n = 0; n < sc; ++n) {
+      out[static_cast<size_t>(s0 + n)] =
+          nn::Sigmoid(scratch->logits[static_cast<size_t>(n)]);
+    }
+  }
 }
 
 double TaskModel::EvaluateLoss(const std::vector<std::vector<double>>& tuples,

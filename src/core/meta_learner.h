@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/binary_io.h"
@@ -71,6 +72,30 @@ class TaskModel {
   /// P(interesting) for one encoded tuple. Same thread-safety contract as
   /// Logit.
   double PredictProbability(const std::vector<double>& tuple) const;
+
+  /// Reusable buffers for PredictProbabilityBatch. Capacities reach a steady
+  /// state after the first block, so batched scoring allocates nothing per
+  /// call.
+  struct BatchScratch {
+    nn::Mlp::BatchScratch mlp;
+    std::vector<double> emb_tau;   // count x N_e tuple embeddings.
+    std::vector<double> clf_in;    // count x f_clf input width.
+    std::vector<double> logits;    // count x 1.
+    std::vector<double> mcp_left;  // N_e: left half of M_cp applied to emb_R.
+    std::vector<double> clf1_left; // f_clf layer-1 prefix over emb_R (kBasic).
+  };
+
+  /// Block counterpart of PredictProbability for the columnar serving path:
+  /// `tuples` holds `count` row-major encoded tuples of f_tau's input width
+  /// each; writes P(interesting) for tuple n into `out[n]`. Each probability
+  /// is bit-identical to PredictProbability on that tuple — the batch runs
+  /// the same operation sequence per row (the constant left half of the
+  /// M_cp · [emb_R; emb_tau] product is evaluated once per block, which is
+  /// exactly the per-row accumulation prefix, so the sum is unchanged).
+  /// Same thread-safety contract as Logit.
+  void PredictProbabilityBatch(std::span<const double> tuples, int64_t count,
+                               BatchScratch* scratch,
+                               std::span<double> out) const;
 
   /// Eagerly refreshes the cached UIS embedding emb_R so that subsequent
   /// const predictions perform no writes at all — the required handshake

@@ -2,6 +2,7 @@
 #define LTE_DATA_COLUMN_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,11 @@ class Column {
 
   const std::string& name() const { return name_; }
   const std::vector<double>& values() const { return values_; }
+
+  /// Contiguous view of all values. The columnar serving path scans column
+  /// data through this instead of materializing per-row tuples; the view is
+  /// invalidated by Append (like any vector iterator).
+  std::span<const double> AsSpan() const { return values_; }
   int64_t size() const { return static_cast<int64_t>(values_.size()); }
   bool empty() const { return values_.empty(); }
 

@@ -10,8 +10,16 @@ namespace lte::data {
 
 /// Reads a comma-separated file with a header row of attribute names and
 /// numeric cells into `*table`. Empty lines are skipped. Fails with IoError
-/// if the file cannot be opened and InvalidArgument on malformed rows or
-/// non-numeric cells.
+/// if the file cannot be opened and InvalidArgument on malformed input.
+///
+/// Strictness rules (every violation names the offending cell and line):
+///  * cells must parse fully as doubles — no trailing junk;
+///  * cells must be finite and in double range: `nan`/`inf` spellings and
+///    overflowing magnitudes (e.g. `1e999`) are rejected rather than loaded
+///    as values that would silently poison normalization and clustering;
+///  * quoting is NOT supported — this is a numeric-matrix reader, not a
+///    general CSV parser. A `"` anywhere in a line fails loudly instead of
+///    mis-splitting a quoted field on its embedded commas.
 Status ReadCsv(const std::string& path, Table* table);
 
 /// Writes `table` to `path` as CSV with a header row.

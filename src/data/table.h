@@ -2,6 +2,7 @@
 #define LTE_DATA_TABLE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,14 @@ class Table {
 
   const Column& column(int64_t i) const;
   Column* mutable_column(int64_t i);
+
+  /// Contiguous view of column `i`'s values (`ColumnValues(i)[r]` is the
+  /// value at row `r`). The columnar serving path gathers attribute data
+  /// through these views, one subspace at a time, instead of materializing
+  /// each row; invalidated by AppendRow.
+  std::span<const double> ColumnValues(int64_t i) const {
+    return column(i).AsSpan();
+  }
 
   /// All attribute names, in column order.
   std::vector<std::string> AttributeNames() const;

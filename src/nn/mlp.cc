@@ -1,5 +1,7 @@
 #include "nn/mlp.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "nn/activations.h"
 
@@ -38,6 +40,108 @@ std::vector<double> Mlp::Forward(const std::vector<double>& x,
     h = (i + 1 < layers_.size()) ? Relu(z) : std::move(z);
   }
   return h;
+}
+
+void Mlp::ForwardBatchInto(std::span<const double> x, int64_t count,
+                           BatchScratch* scratch, std::vector<double>* out,
+                           std::span<const double> first_layer_prefix) const {
+  LTE_CHECK(!layers_.empty());
+  LTE_CHECK_GE(count, 0);
+  // With a first-layer prefix, rows of x carry only the features after the
+  // shared head; the head's width is implied by the row width.
+  const int64_t head_w =
+      count > 0 ? in_features() - static_cast<int64_t>(x.size()) / count : 0;
+  if (first_layer_prefix.empty()) {
+    LTE_CHECK_EQ(static_cast<int64_t>(x.size()), count * in_features());
+  } else {
+    LTE_CHECK_EQ(static_cast<int64_t>(first_layer_prefix.size()),
+                 layers_.front().out_features());
+    LTE_CHECK_GE(head_w, 0);
+    LTE_CHECK_EQ(static_cast<int64_t>(x.size()),
+                 count * (in_features() - head_w));
+  }
+  const double* in = x.data();
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const Linear& layer = layers_[i];
+    const int64_t in_w = layer.in_features();
+    const int64_t out_w = layer.out_features();
+    const bool first = i == 0;
+    const bool last = i + 1 == layers_.size();
+    // The first layer may skip the shared head: its rows are narrower and
+    // its accumulators start from the precomputed prefix.
+    const int64_t skip = first && !first_layer_prefix.empty() ? head_w : 0;
+    const int64_t data_w = in_w - skip;
+    std::vector<double>* dst =
+        last ? out : (in == scratch->a.data() ? &scratch->b : &scratch->a);
+    dst->resize(static_cast<size_t>(count * out_w));
+    const double* weights = layer.weights().data().data();
+    const std::vector<double>& bias = layer.bias();
+    // Tiled over rows: each weight row is streamed from cache once per
+    // kRowTile rows instead of once per row, and the innermost loop runs
+    // kRowTile independent scalar accumulator chains — breaking the
+    // single-accumulator FP-add latency chain a per-row dot product is
+    // stuck with. The tile rows are read in place at stride data_w rather
+    // than packed contiguously: a transposed pack invites the
+    // autovectorizer in, and on the deployment hosts packed-double SSE
+    // arithmetic measures slower per element than the scalar chains this
+    // shape compiles to (see bench_columnar_scan). Each row's own
+    // accumulation is untouched: accumulator t sums row t's terms in
+    // ascending input order with the bias added after the full dot (same
+    // operation order as Linear::Forward, ReLU fused), so every row is
+    // bit-identical to the vector-at-a-time path.
+    constexpr int64_t kRowTile = 8;
+    const int64_t full = count - count % kRowTile;
+    for (int64_t n0 = 0; n0 < full; n0 += kRowTile) {
+      const double* base = in + n0 * data_w;
+      for (int64_t o = 0; o < out_w; ++o) {
+        const double* w = weights + o * in_w + skip;
+        const double init =
+            skip > 0 ? first_layer_prefix[static_cast<size_t>(o)] : 0.0;
+        double acc[kRowTile];
+        for (int64_t t = 0; t < kRowTile; ++t) acc[t] = init;
+        for (int64_t c = 0; c < data_w; ++c) {
+          const double wc = w[c];
+          for (int64_t t = 0; t < kRowTile; ++t) {
+            acc[t] += wc * base[t * data_w + c];
+          }
+        }
+        const double b = bias[static_cast<size_t>(o)];
+        for (int64_t t = 0; t < kRowTile; ++t) {
+          const double s = acc[t] + b;
+          dst->data()[(n0 + t) * out_w + o] = last ? s : (s > 0.0 ? s : 0.0);
+        }
+      }
+    }
+    // Ragged tail: one row at a time, identical per-row operation order.
+    for (int64_t n = full; n < count; ++n) {
+      const double* row = in + n * data_w;
+      for (int64_t o = 0; o < out_w; ++o) {
+        const double* w = weights + o * in_w + skip;
+        double s = skip > 0 ? first_layer_prefix[static_cast<size_t>(o)] : 0.0;
+        for (int64_t c = 0; c < data_w; ++c) s += w[c] * row[c];
+        s += bias[static_cast<size_t>(o)];
+        dst->data()[n * out_w + o] = last ? s : (s > 0.0 ? s : 0.0);
+      }
+    }
+    in = dst->data();
+  }
+}
+
+void Mlp::ComputeFirstLayerPrefix(std::span<const double> head,
+                                  std::vector<double>* prefix) const {
+  LTE_CHECK(!layers_.empty());
+  const Linear& layer = layers_.front();
+  LTE_CHECK_LE(static_cast<int64_t>(head.size()), layer.in_features());
+  const int64_t in_w = layer.in_features();
+  const int64_t out_w = layer.out_features();
+  const double* weights = layer.weights().data().data();
+  prefix->resize(static_cast<size_t>(out_w));
+  for (int64_t o = 0; o < out_w; ++o) {
+    const double* w = weights + o * in_w;
+    double s = 0.0;
+    for (size_t c = 0; c < head.size(); ++c) s += w[c] * head[c];
+    (*prefix)[static_cast<size_t>(o)] = s;
+  }
 }
 
 std::vector<double> Mlp::Backward(const Cache& cache,

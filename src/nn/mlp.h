@@ -2,6 +2,7 @@
 #define LTE_NN_MLP_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/binary_io.h"
@@ -41,6 +42,42 @@ class Mlp {
   /// Forward pass; fills *cache when non-null.
   std::vector<double> Forward(const std::vector<double>& x,
                               Cache* cache = nullptr) const;
+
+  /// Reusable ping-pong activation buffers for ForwardBatchInto. Capacities
+  /// reach a steady state after the first block, so batched inference
+  /// allocates nothing per call.
+  struct BatchScratch {
+    std::vector<double> a;
+    std::vector<double> b;
+  };
+
+  /// Batch inference forward for the columnar serving path: `x` holds
+  /// `count` row-major inputs of in_features() doubles each; writes `count`
+  /// row-major outputs of out_features() doubles into `*out` (resized).
+  /// Captures no cache (inference only, no Backward). Each row's output is
+  /// bit-identical to Forward on that row — every output element accumulates
+  /// its dot product in the same order, adds the bias last, and applies the
+  /// same ReLU — so batching rows never changes results.
+  ///
+  /// `first_layer_prefix` supports inputs whose leading features are the
+  /// same for every row in the batch (e.g. a per-user embedding
+  /// concatenated before per-tuple features): pass the shared head's
+  /// partial dot products from ComputeFirstLayerPrefix and rows of `x` that
+  /// carry only the remaining in_features() - head_width per-row features.
+  /// The first layer then resumes each accumulation from the shared prefix
+  /// — the exact running sum Forward reaches after the head's terms — so
+  /// outputs stay bit-identical while the head is neither copied per row
+  /// nor re-multiplied per row. Empty (default) = rows carry all features.
+  void ForwardBatchInto(std::span<const double> x, int64_t count,
+                        BatchScratch* scratch, std::vector<double>* out,
+                        std::span<const double> first_layer_prefix = {}) const;
+
+  /// Partial first-layer dot products of a shared input head:
+  /// (*prefix)[o] = sum_{c < head.size()} weights0[o][c] * head[c],
+  /// accumulated in ascending c — the running-sum prefix Forward's first
+  /// layer reaches after `head.size()` terms. Feed to ForwardBatchInto.
+  void ComputeFirstLayerPrefix(std::span<const double> head,
+                               std::vector<double>* prefix) const;
 
   /// Backpropagates grad_out (gradient w.r.t. the final linear output),
   /// accumulating layer gradients; returns the gradient w.r.t. the input.

@@ -213,6 +213,26 @@ void TabularEncoder::EncodeProjectedInto(const std::vector<double>& values,
   }
 }
 
+void TabularEncoder::EncodeGatheredInto(
+    const std::vector<std::span<const double>>& columns,
+    const std::vector<int64_t>& attrs, std::span<const int64_t> rows,
+    std::vector<double>* out) const {
+  LTE_CHECK_EQ(columns.size(), attrs.size());
+  const auto width = static_cast<size_t>(ProjectedWidth(attrs));
+  out->clear();
+  out->reserve(rows.size() * width);
+  // Same EncodeValue sequence per tuple as EncodeProjectedInto, so each
+  // row-major slice of `*out` is bit-identical to the row-at-a-time encode;
+  // the values just arrive from contiguous column views instead of a
+  // materialized row.
+  for (const int64_t r : rows) {
+    for (size_t j = 0; j < attrs.size(); ++j) {
+      EncodeValue(attrs[j], columns[j][static_cast<size_t>(r)], out);
+    }
+  }
+  LTE_CHECK_EQ(out->size(), rows.size() * width);
+}
+
 std::vector<double> TabularEncoder::EncodeRow(
     const std::vector<double>& row) const {
   LTE_CHECK_EQ(static_cast<int64_t>(row.size()), num_attributes_);

@@ -2,6 +2,7 @@
 #define LTE_PREPROCESS_TABULAR_ENCODER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/binary_io.h"
@@ -94,6 +95,20 @@ class TabularEncoder {
   void EncodeProjectedInto(const std::vector<double>& values,
                            const std::vector<int64_t>& attrs,
                            std::vector<double>* out) const;
+
+  /// Columnar block encode for the serving fast path: `columns[j]` is the
+  /// contiguous value view of attribute `attrs[j]` over the whole table
+  /// (`Table::ColumnValues`), and `rows` selects the tuples to encode.
+  /// Writes the encodings row-major into the reusable scratch matrix `*out`
+  /// (resized to `rows.size() x ProjectedWidth(attrs)`; capacity is retained
+  /// across calls, so a reused buffer reaches a steady state with zero
+  /// allocations per block). Row k of `*out` is bit-identical to
+  /// EncodeProjectedInto of the k-th selected tuple — the encode visits
+  /// attributes in the same order with the same per-value models.
+  void EncodeGatheredInto(const std::vector<std::span<const double>>& columns,
+                          const std::vector<int64_t>& attrs,
+                          std::span<const int64_t> rows,
+                          std::vector<double>* out) const;
 
   /// Encodes a full-width row (all attributes in column order).
   std::vector<double> EncodeRow(const std::vector<double>& row) const;

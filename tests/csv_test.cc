@@ -82,5 +82,69 @@ TEST_F(CsvTest, ScientificNotationParses) {
   EXPECT_DOUBLE_EQ(t.column(0).value(1), -250.0);
 }
 
+TEST_F(CsvTest, OverflowingMagnitudeFails) {
+  // strtod turns 1e999 into +inf with ERANGE; loading it would poison every
+  // downstream distance computation, so it must be rejected, naming the cell
+  // and the line it sits on.
+  const std::string path = TempPath("overflow.csv");
+  WriteFile(path, "a,b\n1,2\n1e999,4\n");
+  Table t;
+  const Status s = ReadCsv(path, &t);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("1e999"), std::string::npos);
+  EXPECT_NE(s.message().find("line 3"), std::string::npos);
+}
+
+TEST_F(CsvTest, NegativeOverflowFails) {
+  const std::string path = TempPath("neg_overflow.csv");
+  WriteFile(path, "a\n-1e400\n");
+  Table t;
+  EXPECT_EQ(ReadCsv(path, &t).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, NanAndInfSpellingsFail) {
+  // strtod happily parses these spellings; the reader must not.
+  for (const std::string cell : {"nan", "NaN", "inf", "-inf", "Infinity"}) {
+    const std::string path = TempPath("nonfinite.csv");
+    WriteFile(path, "a\n" + cell + "\n");
+    Table t;
+    const Status s = ReadCsv(path, &t);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << cell;
+    EXPECT_NE(s.message().find(cell), std::string::npos) << cell;
+  }
+}
+
+TEST_F(CsvTest, DenormalUnderflowStillParses) {
+  // Underflow also sets ERANGE, but the denormal result is a valid finite
+  // double — it must load, unlike true overflow.
+  const std::string path = TempPath("denormal.csv");
+  WriteFile(path, "a\n1e-320\n");
+  Table t;
+  ASSERT_TRUE(ReadCsv(path, &t).ok());
+  EXPECT_GT(t.column(0).value(0), 0.0);
+  EXPECT_LT(t.column(0).value(0), 1e-300);
+}
+
+TEST_F(CsvTest, QuotedFieldFailsLoudly) {
+  // Quoting is unsupported: splitting '"1,2"' on commas would silently
+  // produce two mangled cells, so the quote itself is the error.
+  const std::string path = TempPath("quoted.csv");
+  WriteFile(path, "a,b\n\"1,2\",3\n");
+  Table t;
+  const Status s = ReadCsv(path, &t);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+  EXPECT_NE(s.message().find("quot"), std::string::npos);
+}
+
+TEST_F(CsvTest, QuotedHeaderFailsLoudly) {
+  const std::string path = TempPath("quoted_header.csv");
+  WriteFile(path, "\"a\",b\n1,2\n");
+  Table t;
+  const Status s = ReadCsv(path, &t);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("line 1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace lte::data

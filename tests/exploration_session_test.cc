@@ -242,6 +242,21 @@ TEST_F(ExplorationSessionTest, MisuseReturnsStatusNotAbort) {
       StatusCode::kFailedPrecondition);
 }
 
+TEST_F(ExplorationSessionTest, ContinueExplorationNullRngIsError) {
+  // Regression: a null rng used to reach the local-update path and
+  // dereference, aborting the process; it must come back as a misuse error
+  // like every other bad argument.
+  ExplorationSession session(model_.get());
+  Rng rng(7);
+  ASSERT_TRUE(
+      session.StartExploration(UserLabels(0), Variant::kMeta, &rng).ok());
+  const Status s =
+      session.ContinueExploration(0, {{0.1, 0.2}}, {1.0}, nullptr);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // The session is untouched and still serves queries.
+  EXPECT_TRUE(session.PredictRow(table_.Row(0)).has_value());
+}
+
 TEST_F(ExplorationSessionTest, ResetDropsAdaptedState) {
   ExplorationSession session(model_.get());
   Rng rng(5);

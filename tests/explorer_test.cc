@@ -272,6 +272,10 @@ TEST_F(ExplorerTest, ContinueExplorationRefinesModel) {
                    .ok());  // Inactive subspace.
   EXPECT_FALSE(ex.ContinueExploration(0, points, {1.0}, rng_.get()).ok());
   EXPECT_FALSE(ex.ContinueExploration(0, {}, {}, rng_.get()).ok());
+  // Null rng is a misuse error, not a crash (regression).
+  EXPECT_FALSE(ex.ContinueExploration(0, points, extra_labels, nullptr).ok());
+  // The facade still serves queries after the rejected call.
+  EXPECT_TRUE(ex.PredictSubspace(0, {1.0, 1.0}).has_value());
 }
 
 TEST_F(ExplorerTest, RetrieveMatchesReturnsPredictedRows) {
