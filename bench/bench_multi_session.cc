@@ -17,13 +17,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <numeric>
 #include <thread>
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "bench_common.h"
+#include "core/exploration_session.h"
 #include "eval/report.h"
+#include "serving/coalesced_scan_scheduler.h"
 
 namespace lte::bench {
 namespace {
@@ -34,6 +37,18 @@ struct SweepRow {
   int64_t threads_per_session = 0;
   double wall_s = 0.0;
   double rows_per_s = 0.0;
+  bool bit_identical = true;
+};
+
+/// One row of the coalesced-vs-independent sweep, kept for the JSON artifact.
+struct CoalescedRow {
+  int64_t sessions = 0;
+  double independent_wall_s = 0.0;
+  double coalesced_wall_s = 0.0;
+  double speedup = 0.0;
+  int64_t encode_passes = 0;
+  int64_t encode_pass_bound = 0;
+  bool encode_amortized = false;
   bool bit_identical = true;
 };
 
@@ -191,6 +206,141 @@ void Run() {
   std::printf("all concurrent runs byte-identical to sequential: %s\n",
               all_identical ? "yes" : "NO — determinism contract violated");
 
+  // ---------------------------------------------------------------------
+  // Coalesced vs independent: S pre-adapted sessions scanning the full
+  // table, either each on its own (S independent gather+encode passes per
+  // block) or through one CoalescedScanScheduler (ONE shared pass per
+  // block, DESIGN.md §2c). Adaptation happens outside the timed region —
+  // this measures the steady-state serving scan only.
+  PrintHeader("Coalesced scheduler vs independent sessions (full-table scan)");
+  const std::vector<int64_t> coalesced_sweep =
+      SmokeMode() ? std::vector<int64_t>{1, 4, 16}
+                  : std::vector<int64_t>{1, 4, 16, 64};
+  const int64_t max_coalesced =
+      *std::max_element(coalesced_sweep.begin(), coalesced_sweep.end());
+
+  std::vector<std::unique_ptr<core::ExplorationSession>> sessions;
+  std::vector<std::vector<double>> expected(
+      static_cast<size_t>(max_coalesced));
+  bool setup_ok = true;
+  for (int64_t u = 0; u < max_coalesced; ++u) {
+    sessions.push_back(std::make_unique<core::ExplorationSession>(
+        &model, /*num_threads=*/1));
+    Rng rng(1000 + static_cast<uint64_t>(u));
+    if (!sessions.back()
+             ->StartExploration(UserLabels(model, u), core::Variant::kBasic,
+                                &rng)
+             .ok() ||
+        !sessions.back()
+             ->PredictRows(sdss, all_rows, &expected[static_cast<size_t>(u)])
+             .ok()) {
+      std::printf("coalesced sweep setup failed for user %lld\n",
+                  static_cast<long long>(u));
+      setup_ok = false;
+      break;
+    }
+  }
+
+  const int64_t num_blocks =
+      (sdss.num_rows() + core::kServingBlockRows - 1) / core::kServingBlockRows;
+  bool coalesced_identical = true;
+  bool coalesced_amortized = true;
+  std::vector<CoalescedRow> coalesced_results;
+  if (setup_ok) {
+    eval::TextTable ctable({"sessions", "indep (s)", "coalesced (s)",
+                            "speedup", "encode passes", "bound", "identical"});
+    for (const int64_t s_count : coalesced_sweep) {
+      std::vector<std::vector<double>> indep_out(
+          static_cast<size_t>(s_count));
+      std::vector<std::vector<double>> coal_out(static_cast<size_t>(s_count));
+      std::vector<char> ok(static_cast<size_t>(s_count), 1);
+
+      Stopwatch indep_sw;
+      {
+        std::vector<std::thread> users;
+        for (int64_t u = 0; u < s_count; ++u) {
+          users.emplace_back([&, u] {
+            for (int64_t r = 0; r < reps; ++r) {
+              if (!sessions[static_cast<size_t>(u)]
+                       ->PredictRows(sdss, all_rows,
+                                     &indep_out[static_cast<size_t>(u)])
+                       .ok()) {
+                ok[static_cast<size_t>(u)] = 0;
+              }
+            }
+          });
+        }
+        for (std::thread& t : users) t.join();
+      }
+      const double indep_wall = indep_sw.ElapsedSeconds();
+
+      // Full-batch flush at S requests. Submitters stay in lockstep (each
+      // blocks until its wave's shared pass completes), so the generous
+      // deadline never actually expires — it just keeps a descheduled
+      // straggler from splitting a wave into two passes.
+      serving::CoalescedScanOptions copt;
+      copt.max_batch_requests = s_count;
+      copt.flush_deadline_micros = 1000000;
+      serving::CoalescedScanScheduler scheduler(&model, &sdss, copt);
+      Stopwatch coal_sw;
+      {
+        std::vector<std::thread> users;
+        for (int64_t u = 0; u < s_count; ++u) {
+          users.emplace_back([&, u] {
+            for (int64_t r = 0; r < reps; ++r) {
+              if (!scheduler
+                       .PredictRows(*sessions[static_cast<size_t>(u)],
+                                    all_rows,
+                                    &coal_out[static_cast<size_t>(u)])
+                       .ok()) {
+                ok[static_cast<size_t>(u)] = 0;
+              }
+            }
+          });
+        }
+        for (std::thread& t : users) t.join();
+      }
+      const double coal_wall = coal_sw.ElapsedSeconds();
+      const serving::CoalescedScanStats stats = scheduler.stats();
+
+      CoalescedRow row;
+      row.sessions = s_count;
+      row.independent_wall_s = indep_wall;
+      row.coalesced_wall_s = coal_wall;
+      row.speedup = coal_wall > 0.0 ? indep_wall / coal_wall : 0.0;
+      row.encode_passes = stats.encode_passes;
+      // Perfect coalescing: every resubmission wave lands in one shared
+      // pass, so at most reps passes per (block, subspace) — independent of
+      // the session count. Independent sessions pay s_count times this.
+      row.encode_pass_bound = reps * num_blocks * model.num_subspaces();
+      row.encode_amortized = row.encode_passes <= row.encode_pass_bound;
+      for (int64_t u = 0; u < s_count; ++u) {
+        if (ok[static_cast<size_t>(u)] == 0 ||
+            indep_out[static_cast<size_t>(u)] !=
+                expected[static_cast<size_t>(u)] ||
+            coal_out[static_cast<size_t>(u)] !=
+                expected[static_cast<size_t>(u)]) {
+          row.bit_identical = false;
+        }
+      }
+      coalesced_identical &= row.bit_identical;
+      coalesced_amortized &= row.encode_amortized;
+      ctable.AddRow(std::to_string(s_count),
+                    {row.independent_wall_s, row.coalesced_wall_s, row.speedup,
+                     static_cast<double>(row.encode_passes),
+                     static_cast<double>(row.encode_pass_bound),
+                     row.bit_identical ? 1.0 : 0.0},
+                    2);
+      coalesced_results.push_back(row);
+    }
+    ctable.Print();
+    std::printf("coalesced results byte-identical to standalone: %s\n",
+                coalesced_identical ? "yes"
+                                    : "NO — determinism contract violated");
+    std::printf("encode cost amortized (one shared pass per wave): %s\n",
+                coalesced_amortized ? "yes" : "NO — coalescing ineffective");
+  }
+
   const std::string json_path = JsonOutputPath();
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -207,6 +357,28 @@ void Run() {
                  static_cast<long long>(DefaultThreadCount()));
     std::fprintf(f, "  \"bit_identical\": %s,\n",
                  all_identical ? "true" : "false");
+    std::fprintf(f, "  \"coalesced_bit_identical\": %s,\n",
+                 coalesced_identical ? "true" : "false");
+    std::fprintf(f, "  \"coalesced_encode_amortized\": %s,\n",
+                 coalesced_amortized ? "true" : "false");
+    std::fprintf(f, "  \"coalesced\": [\n");
+    for (size_t i = 0; i < coalesced_results.size(); ++i) {
+      const CoalescedRow& r = coalesced_results[i];
+      std::fprintf(
+          f,
+          "    {\"sessions\": %lld, \"independent_wall_s\": %.6f, "
+          "\"coalesced_wall_s\": %.6f, \"speedup\": %.3f, "
+          "\"encode_passes\": %lld, \"encode_pass_bound\": %lld, "
+          "\"encode_amortized\": %s, \"bit_identical\": %s}%s\n",
+          static_cast<long long>(r.sessions), r.independent_wall_s,
+          r.coalesced_wall_s, r.speedup,
+          static_cast<long long>(r.encode_passes),
+          static_cast<long long>(r.encode_pass_bound),
+          r.encode_amortized ? "true" : "false",
+          r.bit_identical ? "true" : "false",
+          i + 1 < coalesced_results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"sweep\": [\n");
     for (size_t i = 0; i < results.size(); ++i) {
       const SweepRow& r = results[i];

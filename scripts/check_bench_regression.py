@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate: compare bench JSON artifacts to a baseline.
+
+Reads the checked-in baseline (scripts/bench_baseline.json), resolves each
+check's metric inside the freshly produced BENCH_*.json artifacts, prints a
+before/after markdown table (and appends it to $GITHUB_STEP_SUMMARY when
+set), and exits non-zero if any enforced check fails.
+
+Check semantics, per entry in the baseline's "checks" list:
+  {"file": ..., "metric": ..., "equals": <value>}
+      Exact match — used for deterministic invariants (bit-identity,
+      encode amortization) that must hold on any host.
+  {"file": ..., "metric": ..., "baseline": <num>, "direction": "higher",
+   "threshold": 0.25}
+      Numeric gate: "higher" means bigger is better and the check fails
+      when actual < baseline * (1 - threshold); "lower" means smaller is
+      better and fails when actual > baseline * (1 + threshold).
+  "informational": true
+      Reported in the table but never fails the job — for absolute
+      throughput numbers that depend on the runner's hardware.
+  "note": free-form, carried into the table.
+
+Metric selectors are dotted paths into the artifact JSON; a segment may
+filter a list by field values, e.g.:
+    coalesced[sessions=16].speedup
+    sweep[variant=Meta,threads=1].columnar_rows_per_s
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+_SEGMENT = re.compile(r"^(?P<name>[^\[\]]+)(?:\[(?P<filters>[^\]]+)\])?$")
+
+
+class MetricError(Exception):
+    pass
+
+
+def resolve(doc, path):
+    """Walks `doc` down a dotted selector path, filtering lists by [k=v,...]."""
+    node = doc
+    for segment in path.split("."):
+        m = _SEGMENT.match(segment)
+        if m is None:
+            raise MetricError(f"bad selector segment {segment!r}")
+        name = m.group("name")
+        if not isinstance(node, dict) or name not in node:
+            raise MetricError(f"no field {name!r} (selector {path!r})")
+        node = node[name]
+        if m.group("filters") is not None:
+            if not isinstance(node, list):
+                raise MetricError(f"{name!r} is not a list (selector {path!r})")
+            wanted = dict(kv.split("=", 1) for kv in m.group("filters").split(","))
+            hits = [
+                e
+                for e in node
+                if isinstance(e, dict)
+                and all(str(e.get(k)) == v for k, v in wanted.items())
+            ]
+            if len(hits) != 1:
+                raise MetricError(
+                    f"filter [{m.group('filters')}] matched {len(hits)} "
+                    f"elements of {name!r} (selector {path!r})"
+                )
+            node = hits[0]
+    return node
+
+
+def fmt(value):
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def run_check(check, artifacts):
+    """Returns (status, baseline_repr, actual_repr, detail).
+
+    status is one of "ok", "info", "FAIL".
+    """
+    informational = bool(check.get("informational", False))
+    fail = "info" if informational else "FAIL"
+    name = check["file"]
+    if name not in artifacts:
+        return (fail, "-", "missing artifact", f"{name} not found")
+    try:
+        actual = resolve(artifacts[name], check["metric"])
+    except MetricError as e:
+        return (fail, "-", "missing metric", str(e))
+
+    if "equals" in check:
+        expected = check["equals"]
+        status = "ok" if actual == expected else fail
+        return (status, fmt(expected), fmt(actual), "exact")
+
+    baseline = float(check["baseline"])
+    threshold = float(check.get("threshold", 0.25))
+    direction = check.get("direction", "higher")
+    try:
+        value = float(actual)
+    except (TypeError, ValueError):
+        return (fail, fmt(baseline), fmt(actual), "not numeric")
+    if informational:
+        status = "info"
+    elif direction == "higher":
+        status = "ok" if value >= baseline * (1.0 - threshold) else "FAIL"
+    elif direction == "lower":
+        status = "ok" if value <= baseline * (1.0 + threshold) else "FAIL"
+    else:
+        return (fail, fmt(baseline), fmt(actual), f"bad direction {direction!r}")
+    delta = (value - baseline) / baseline if baseline != 0.0 else float("inf")
+    return (status, fmt(baseline), fmt(value), f"{delta:+.1%} ({direction} is better)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="scripts/bench_baseline.json")
+    parser.add_argument(
+        "--dir", default=".", help="directory holding the BENCH_*.json artifacts"
+    )
+    parser.add_argument(
+        "--summary",
+        default=os.environ.get("GITHUB_STEP_SUMMARY", ""),
+        help="markdown summary file to append to (defaults to CI step summary)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    artifacts = {}
+    for check in baseline["checks"]:
+        name = check["file"]
+        path = os.path.join(args.dir, name)
+        if name not in artifacts and os.path.exists(path):
+            with open(path, encoding="utf-8") as f:
+                artifacts[name] = json.load(f)
+
+    lines = [
+        "### Bench regression gate",
+        "",
+        "| check | baseline | actual | delta | status |",
+        "|---|---|---|---|---|",
+    ]
+    failed = 0
+    for check in baseline["checks"]:
+        status, base_repr, actual_repr, detail = run_check(check, artifacts)
+        if status == "FAIL":
+            failed += 1
+        label = f"{check['file'].removeprefix('BENCH_').removesuffix('.json')}: {check['metric']}"
+        if check.get("note"):
+            label += f" ({check['note']})"
+        icon = {"ok": "✅", "info": "ℹ️", "FAIL": "❌"}[status]
+        lines.append(
+            f"| {label} | {base_repr} | {actual_repr} | {detail} | {icon} {status} |"
+        )
+    lines.append("")
+    lines.append(
+        f"{failed} enforced check(s) failed."
+        if failed
+        else "All enforced checks passed."
+    )
+    report = "\n".join(lines) + "\n"
+
+    sys.stdout.write(report)
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as f:
+            f.write(report)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,10 @@ namespace {
 
 /// Rows per scan chunk: the unit RetrieveMatches lanes claim and the block
 /// size of the columnar fast path (chunk == block keeps one encode/score
-/// round per claimed chunk).
-constexpr int64_t kScanChunkRows = 1024;
+/// round per claimed chunk). Shared with the coalesced serving front-end
+/// via the public alias so cross-session batches group at the same
+/// granularity.
+constexpr int64_t kScanChunkRows = kServingBlockRows;
 
 }  // namespace
 
@@ -276,23 +278,13 @@ void ExplorationSession::PredictBlockColumnar(const data::Table& table,
     }
     model_->encoder().EncodeGatheredInto(scratch->columns, attrs,
                                          scratch->gather, &scratch->encoded);
-    const SubspaceSession& state = states_[static_cast<size_t>(s)];
     scratch->probs.resize(scratch->survivors.size());
-    state.task_model->PredictProbabilityBatch(scratch->encoded, count,
-                                              &scratch->batch, scratch->probs);
+    ScoreEncodedBlock(s, scratch->encoded, scratch->gather, scratch->columns,
+                      &scratch->batch, &scratch->point, scratch->probs);
     scratch->next.clear();
     for (int64_t i = 0; i < count; ++i) {
       const int64_t k = scratch->survivors[static_cast<size_t>(i)];
-      double pred = scratch->probs[static_cast<size_t>(i)] > 0.5 ? 1.0 : 0.0;
-      if (state.fpfn.has_value()) {
-        scratch->point.clear();
-        const auto r = static_cast<size_t>(scratch->gather[static_cast<size_t>(i)]);
-        for (const std::span<const double>& col : scratch->columns) {
-          scratch->point.push_back(col[r]);
-        }
-        pred = state.fpfn->Refine(scratch->point, pred);
-      }
-      if (pred < 0.5) {
+      if (scratch->probs[static_cast<size_t>(i)] < 0.5) {
         scratch->alive[static_cast<size_t>(k)] = 0;
       } else {
         scratch->next.push_back(k);
@@ -302,6 +294,32 @@ void ExplorationSession::PredictBlockColumnar(const data::Table& table,
   }
   for (int64_t k = 0; k < n; ++k) {
     out[k] = scratch->alive[static_cast<size_t>(k)] != 0 ? 1.0 : 0.0;
+  }
+}
+
+void ExplorationSession::ScoreEncodedBlock(
+    int64_t s, std::span<const double> encoded, std::span<const int64_t> rows,
+    const std::vector<std::span<const double>>& columns,
+    TaskModel::BatchScratch* batch_scratch, std::vector<double>* point_scratch,
+    std::span<double> out) const {
+  LTE_CHECK(s >= 0 && s < active_count_);
+  const SubspaceSession& state = states_[static_cast<size_t>(s)];
+  LTE_CHECK(state.task_model != nullptr);
+  const auto count = static_cast<int64_t>(rows.size());
+  LTE_CHECK(static_cast<int64_t>(out.size()) == count);
+  state.task_model->PredictProbabilityBatch(encoded, count, batch_scratch,
+                                            out);
+  for (int64_t i = 0; i < count; ++i) {
+    double pred = out[static_cast<size_t>(i)] > 0.5 ? 1.0 : 0.0;
+    if (state.fpfn.has_value()) {
+      point_scratch->clear();
+      const auto r = static_cast<size_t>(rows[static_cast<size_t>(i)]);
+      for (const std::span<const double>& col : columns) {
+        point_scratch->push_back(col[r]);
+      }
+      pred = state.fpfn->Refine(*point_scratch, pred);
+    }
+    out[static_cast<size_t>(i)] = pred;
   }
 }
 

@@ -16,6 +16,12 @@
 
 namespace lte::core {
 
+/// Rows per serving scan block: the unit RetrieveMatches lanes claim, the
+/// block size of the columnar fast path, and the granularity the coalesced
+/// serving front-end (src/serving/) groups cross-session work at. One value
+/// keeps a claimed chunk equal to one encode/score round everywhere.
+inline constexpr int64_t kServingBlockRows = 1024;
+
 /// Which LTE variant answers predictions (paper Section VIII-A).
 enum class Variant {
   /// Basic UIS classifier: same architecture, randomly initialized, trained
@@ -173,6 +179,36 @@ class ExplorationSession {
   /// StartExploration state (the model is untouched).
   void Reset();
 
+  /// FailedPrecondition before StartExploration; InvalidArgument when
+  /// `table` is narrower than an active subspace's attribute indices. The
+  /// scan entry points call this internally; the coalesced serving front-end
+  /// (src/serving/) calls it at submission time so a misuse error surfaces
+  /// on the submitting thread instead of inside a shared batch pass.
+  Status ValidateServing(const data::Table& table) const;
+
+  /// Low-level serving hook for the coalesced front-end: scores
+  /// `rows.size()` pre-encoded subspace-`s` tuples and writes the final
+  /// 0.0/1.0 verdicts (threshold, then the Meta* FP/FN refinement) into
+  /// `out`. `encoded` holds the tuples row-major at the subspace's projected
+  /// width — exactly what `TabularEncoder::EncodeGatheredInto` produces —
+  /// with `rows[k]` the table row id of tuple k and `columns` the subspace's
+  /// attribute column views (read only by the FP/FN refiner's raw-point
+  /// gather). `out[k]` is bit-identical to the row path's per-row verdict
+  /// for that tuple: the encode and the batch forward are both row-
+  /// independent, so it does not matter which other rows — or which other
+  /// sessions' rows — share the block (DESIGN.md §2c).
+  ///
+  /// Preconditions (LTE_CHECKed, not Status-mapped — callers are the scan
+  /// paths and the scheduler, which validate via ValidateServing first):
+  /// StartExploration has adapted subspace `s`, and the spans agree in size.
+  /// Thread-safe under the same contract as the const query surface.
+  void ScoreEncodedBlock(int64_t s, std::span<const double> encoded,
+                         std::span<const int64_t> rows,
+                         const std::vector<std::span<const double>>& columns,
+                         TaskModel::BatchScratch* batch_scratch,
+                         std::vector<double>* point_scratch,
+                         std::span<double> out) const;
+
   /// Scan implementation behind PredictRows/RetrieveMatches. The default
   /// kColumnar is the fast path; kRowAtATime keeps the reference
   /// implementation reachable for validation and benchmarking. Results are
@@ -225,10 +261,6 @@ class ExplorationSession {
   void PredictBlockColumnar(const data::Table& table,
                             std::span<const int64_t> rows,
                             BlockScratch* scratch, double* out) const;
-
-  /// FailedPrecondition before StartExploration; InvalidArgument when
-  /// `table` is narrower than an active subspace's attribute indices.
-  Status ValidateServing(const data::Table& table) const;
 
   /// PredictSubspace body minus the misuse checks (callers validated).
   double PredictSubspaceUnchecked(int64_t s, const std::vector<double>& point,
