@@ -1,0 +1,286 @@
+// Session lifecycle churn: K-of-N reconnect workload through the
+// serving::SessionManager (DESIGN.md §2d).
+//
+// A serving host keeps only K sessions resident over N known users; every
+// reconnect of an evicted user pays one checkpoint restore, and every
+// capacity miss pays one checkpoint write. This bench adapts N users once,
+// then drives a scripted reconnect storm from 4 request threads while
+// sweeping K, and reports reconnect throughput plus the manager's
+// evict/restore ledger. The determinism invariant rides along: after any
+// amount of churn, every user's predictions must be byte-identical to a
+// standalone session that never left RAM.
+//
+// Expected shape: reconnects/s degrades gracefully as K shrinks (the
+// evict+restore round-trip is two serializations of a few-KB session, not a
+// re-adaptation), and the K = N row measures the pure lease/hit overhead.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/exploration_session.h"
+#include "eval/report.h"
+#include "serving/session_manager.h"
+
+namespace lte::bench {
+namespace {
+
+/// One row of the K (resident capacity) sweep, kept for the JSON artifact.
+struct ChurnRow {
+  int64_t resident = 0;
+  double wall_s = 0.0;
+  double reconnects_per_s = 0.0;
+  double rows_per_s = 0.0;
+  int64_t evictions = 0;
+  int64_t restores = 0;
+  int64_t hits = 0;
+  bool bit_identical = true;
+};
+
+/// Scripted per-user labels (same scheme as bench_multi_session): user `u`
+/// likes a subspace point iff its first coordinate falls below a per-user
+/// quantile of the initial tuples' first coordinates.
+std::vector<std::vector<double>> UserLabels(const core::ExplorationModel& model,
+                                            int64_t u) {
+  std::vector<std::vector<double>> labels(
+      static_cast<size_t>(model.num_subspaces()));
+  for (int64_t s = 0; s < model.num_subspaces(); ++s) {
+    const auto& tuples = *model.InitialTuples(s);
+    std::vector<double> firsts;
+    firsts.reserve(tuples.size());
+    for (const auto& t : tuples) firsts.push_back(t[0]);
+    std::sort(firsts.begin(), firsts.end());
+    const size_t q = (static_cast<size_t>(3 + (u % 5)) * firsts.size()) / 10;
+    const double threshold = firsts[std::min(q, firsts.size() - 1)];
+    for (const auto& t : tuples) {
+      labels[static_cast<size_t>(s)].push_back(t[0] < threshold ? 1.0 : 0.0);
+    }
+  }
+  return labels;
+}
+
+/// The fixed row slice user `u` scans on every reconnect.
+std::vector<int64_t> UserRows(int64_t u, int64_t num_rows, int64_t slice) {
+  std::vector<int64_t> rows(static_cast<size_t>(slice));
+  const int64_t start = (u * 997) % std::max<int64_t>(1, num_rows - slice);
+  std::iota(rows.begin(), rows.end(), start);
+  return rows;
+}
+
+std::string FreshDir(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("lte_bench_churn_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void Run() {
+  PrintHeader("Session churn: K-of-N reconnects through the SessionManager");
+  std::printf("hardware threads available: %lld\n",
+              static_cast<long long>(DefaultThreadCount()));
+
+  const int64_t rows = SmokeMode() ? 8000 : (FullScale() ? 60000 : 20000);
+  const int64_t users = SmokeMode() ? 16 : 48;
+  const int64_t reconnects = SmokeMode() ? 96 : 480;
+  const int64_t slice = 2048;
+  constexpr int64_t kRequestThreads = 4;
+
+  Rng data_rng(11);
+  const data::Table sdss = data::MakeSdssLike(rows, &data_rng);
+
+  // Basic-variant serving against a shared model, as in bench_multi_session:
+  // the sweep measures the lifecycle machinery, not meta-training.
+  core::ExplorerOptions opt = BaseRunnerOptions(1, ConvexPsi()).explorer;
+  core::ExplorationModel model(opt);
+  Rng pretrain_rng(42);
+  if (!model.Pretrain(sdss, SdssSubspaces(), /*train_meta=*/false,
+                      &pretrain_rng)
+           .ok()) {
+    std::printf("pretrain failed\n");
+    return;
+  }
+
+  // Standalone ground truth per user: adapt once, never evict, scan the
+  // user's slice. Every churn configuration must reproduce these bytes.
+  std::vector<std::vector<double>> expected(static_cast<size_t>(users));
+  for (int64_t u = 0; u < users; ++u) {
+    core::ExplorationSession session(&model, /*num_threads=*/1);
+    session.SeedRng(1000 + static_cast<uint64_t>(u));
+    if (!session
+             .StartExploration(UserLabels(model, u), core::Variant::kBasic,
+                               session.session_rng())
+             .ok() ||
+        !session
+             .PredictRows(sdss, UserRows(u, rows, slice),
+                          &expected[static_cast<size_t>(u)])
+             .ok()) {
+      std::printf("standalone baseline failed for user %lld\n",
+                  static_cast<long long>(u));
+      return;
+    }
+  }
+
+  const std::vector<int64_t> capacity_sweep = {
+      std::max<int64_t>(1, users / 8), std::max<int64_t>(1, users / 4), users};
+
+  bool all_identical = true;
+  std::vector<ChurnRow> results;
+  eval::TextTable table({"resident K / users N", "wall (s)", "reconnects/s",
+                         "rows/s", "evictions", "restores", "identical"});
+  for (const int64_t k : capacity_sweep) {
+    serving::SessionManagerOptions mopt;
+    mopt.max_resident = k;
+    mopt.checkpoint_dir = FreshDir(std::to_string(k));
+    mopt.session_num_threads = 1;
+    serving::SessionManager manager(&model, mopt);
+
+    // Adapt phase (untimed): every user starts exploration once; with K < N
+    // the tail of this phase already churns through checkpoints.
+    bool ok = true;
+    for (int64_t u = 0; u < users; ++u) {
+      serving::SessionManager::Lease lease;
+      if (!manager.Acquire("user" + std::to_string(u), &lease).ok()) {
+        ok = false;
+        break;
+      }
+      lease.session()->SeedRng(1000 + static_cast<uint64_t>(u));
+      if (!lease.session()
+               ->StartExploration(UserLabels(model, u), core::Variant::kBasic,
+                                  lease.session()->session_rng())
+               .ok()) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      std::printf("adapt phase failed at K=%lld\n", static_cast<long long>(k));
+      return;
+    }
+    const serving::SessionManagerStats before = manager.stats();
+
+    // Reconnect storm (timed): a scripted user sequence with stride 7 — long
+    // revisit distance, so K < N keeps missing — served from 4 request
+    // threads. Reconnect scans are const, so concurrent leases on the same
+    // user are safe; only the manager's own machinery is under test.
+    std::vector<char> thread_ok(kRequestThreads, 1);
+    Stopwatch sw;
+    {
+      std::vector<std::thread> threads;
+      for (int64_t t = 0; t < kRequestThreads; ++t) {
+        threads.emplace_back([&, t] {
+          std::vector<double> predictions;
+          for (int64_t i = t; i < reconnects; i += kRequestThreads) {
+            const int64_t u = (i * 7 + 3) % users;
+            serving::SessionManager::Lease lease;
+            if (!manager.Acquire("user" + std::to_string(u), &lease).ok() ||
+                !lease.session()
+                     ->PredictRows(sdss, UserRows(u, rows, slice),
+                                   &predictions)
+                     .ok()) {
+              thread_ok[static_cast<size_t>(t)] = 0;
+              return;
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+
+    ChurnRow row;
+    row.resident = k;
+    row.wall_s = sw.ElapsedSeconds();
+    row.reconnects_per_s =
+        row.wall_s > 0.0 ? static_cast<double>(reconnects) / row.wall_s : 0.0;
+    row.rows_per_s = row.wall_s > 0.0
+                         ? static_cast<double>(reconnects * slice) / row.wall_s
+                         : 0.0;
+    const serving::SessionManagerStats after = manager.stats();
+    row.evictions = after.evictions - before.evictions;
+    row.restores = after.restores - before.restores;
+    row.hits = after.hits - before.hits;
+
+    // Determinism invariant: after the storm, every user still answers
+    // byte-for-byte what the never-evicted standalone session answers.
+    for (int64_t t = 0; t < kRequestThreads; ++t) {
+      if (thread_ok[static_cast<size_t>(t)] == 0) row.bit_identical = false;
+    }
+    for (int64_t u = 0; u < users; ++u) {
+      serving::SessionManager::Lease lease;
+      std::vector<double> predictions;
+      if (!manager.Acquire("user" + std::to_string(u), &lease).ok() ||
+          !lease.session()
+               ->PredictRows(sdss, UserRows(u, rows, slice), &predictions)
+               .ok() ||
+          predictions != expected[static_cast<size_t>(u)]) {
+        row.bit_identical = false;
+      }
+    }
+    all_identical &= row.bit_identical;
+
+    table.AddRow(std::to_string(k) + " / " + std::to_string(users),
+                 {row.wall_s, row.reconnects_per_s, row.rows_per_s,
+                  static_cast<double>(row.evictions),
+                  static_cast<double>(row.restores),
+                  row.bit_identical ? 1.0 : 0.0},
+                 2);
+    results.push_back(row);
+    std::filesystem::remove_all(mopt.checkpoint_dir);
+  }
+  table.Print();
+  std::printf("all churned sessions byte-identical to never-evicted: %s\n",
+              all_identical ? "yes" : "NO — determinism contract violated");
+
+  const std::string json_path = JsonOutputPath();
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("could not open %s for writing\n", json_path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"session_churn\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n",
+                 SmokeMode() ? "smoke" : (FullScale() ? "full" : "scaled"));
+    std::fprintf(f, "  \"rows\": %lld,\n", static_cast<long long>(rows));
+    std::fprintf(f, "  \"users\": %lld,\n", static_cast<long long>(users));
+    std::fprintf(f, "  \"reconnects\": %lld,\n",
+                 static_cast<long long>(reconnects));
+    std::fprintf(f, "  \"slice_rows\": %lld,\n",
+                 static_cast<long long>(slice));
+    std::fprintf(f, "  \"churn_bit_identical\": %s,\n",
+                 all_identical ? "true" : "false");
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ChurnRow& r = results[i];
+      std::fprintf(
+          f,
+          "    {\"resident\": %lld, \"wall_s\": %.6f, "
+          "\"reconnects_per_s\": %.1f, \"rows_per_s\": %.1f, "
+          "\"evictions\": %lld, \"restores\": %lld, \"hits\": %lld, "
+          "\"bit_identical\": %s}%s\n",
+          static_cast<long long>(r.resident), r.wall_s, r.reconnects_per_s,
+          r.rows_per_s, static_cast<long long>(r.evictions),
+          static_cast<long long>(r.restores), static_cast<long long>(r.hits),
+          r.bit_identical ? "true" : "false",
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote JSON results to %s\n", json_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace lte::bench
+
+int main() {
+  lte::bench::Run();
+  return 0;
+}

@@ -54,6 +54,16 @@ Status BinaryWriter::status() const {
   return out_->good() ? Status::OK() : Status::IoError("binary write failed");
 }
 
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis.
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ULL;  // FNV prime.
+  }
+  return h;
+}
+
 Status BinaryReader::ReadBytes(void* dst, size_t n) {
   in_->read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
   if (static_cast<size_t>(in_->gcount()) != n) {

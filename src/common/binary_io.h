@@ -37,6 +37,13 @@ class BinaryWriter {
   std::ostream* out_;
 };
 
+/// FNV-1a 64-bit hash of a byte buffer. Used as the model content
+/// fingerprint stamped into saved sessions (see exploration_model.h):
+/// fast, dependency-free, stable across hosts, and good enough to make an
+/// accidental stale-session/refreshed-model collision vanishingly unlikely
+/// (this is an integrity check, not a cryptographic commitment).
+uint64_t Fnv1a64(const void* data, size_t size);
+
 class BinaryReader {
  public:
   explicit BinaryReader(std::istream* in) : in_(in) {}

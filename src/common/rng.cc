@@ -1,7 +1,10 @@
 #include "common/rng.h"
 
 #include <algorithm>
+#include <sstream>
+#include <string>
 
+#include "common/binary_io.h"
 #include "common/check.h"
 
 namespace lte {
@@ -44,6 +47,32 @@ std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
 Rng Rng::Fork() {
   std::uniform_int_distribution<uint64_t> dist;
   return Rng(dist(engine_));
+}
+
+void Rng::Save(BinaryWriter* writer) const {
+  // mt19937_64 defines an exact textual state round-trip via operator<</>>
+  // (624 words plus the position, space-separated decimal); storing that
+  // string is simpler and no less precise than re-encoding the words.
+  std::ostringstream state;
+  state << engine_;
+  writer->WriteU64(seed_);
+  writer->WriteString(state.str());
+}
+
+Status Rng::Load(BinaryReader* reader) {
+  uint64_t seed = 0;
+  std::string state;
+  LTE_RETURN_IF_ERROR(reader->ReadU64(&seed));
+  LTE_RETURN_IF_ERROR(reader->ReadString(&state));
+  std::istringstream in(state);
+  std::mt19937_64 engine;
+  in >> engine;
+  if (in.fail()) {
+    return Status::IoError("rng load: malformed engine state");
+  }
+  seed_ = seed;
+  engine_ = engine;
+  return Status::OK();
 }
 
 Rng Rng::Fork(uint64_t key) const {

@@ -6,7 +6,12 @@
 #include <random>
 #include <vector>
 
+#include "common/status.h"
+
 namespace lte {
+
+class BinaryWriter;
+class BinaryReader;
 
 /// Deterministic random number generator used throughout the library.
 ///
@@ -60,6 +65,14 @@ class Rng {
   Rng Fork(uint64_t key) const;
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serialization (session persistence): the construction seed plus the
+  /// exact mt19937_64 engine state, so a restored generator continues the
+  /// stream draw-for-draw — both keyed Fork(key) children (functions of the
+  /// seed) and sequential draws (functions of the engine state) resume
+  /// bit-identically.
+  void Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
 
  private:
   uint64_t seed_;

@@ -1,9 +1,11 @@
 #include "core/exploration_model.h"
 
 #include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "common/binary_io.h"
+#include "common/check.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 
@@ -182,7 +184,16 @@ Status ExplorationModel::Pretrain(const data::Table& table,
   }
   pretrained_ = true;
   meta_trained_ = train_meta;
+  RecomputeFingerprint();
   return Status::OK();
+}
+
+void ExplorationModel::RecomputeFingerprint() {
+  std::ostringstream bytes(std::ios::binary);
+  const Status st = SaveToStream(&bytes);
+  LTE_CHECK_MSG(st.ok(), "fingerprint: in-memory serialization cannot fail");
+  const std::string s = bytes.str();
+  fingerprint_ = Fnv1a64(s.data(), s.size());
 }
 
 Status ExplorationModel::Save(const std::string& path) const {
@@ -193,7 +204,14 @@ Status ExplorationModel::Save(const std::string& path) const {
   if (!out.is_open()) {
     return Status::IoError("cannot open " + path + " for writing");
   }
-  BinaryWriter w(&out);
+  return SaveToStream(&out);
+}
+
+Status ExplorationModel::SaveToStream(std::ostream* out) const {
+  if (!pretrained_) {
+    return Status::FailedPrecondition("explorer: Save before Pretrain");
+  }
+  BinaryWriter w(out);
   w.WriteU64(kModelMagic);
   w.WriteU64(kModelVersion);
   SaveOptions(options_, &w);
@@ -220,12 +238,20 @@ Status ExplorationModel::Load(const std::string& path) {
   if (!in.is_open()) {
     return Status::IoError("cannot open " + path);
   }
-  BinaryReader r(&in);
+  Status st = LoadFromStream(&in);
+  if (!st.ok() && st.code() == StatusCode::kInvalidArgument) {
+    return Status::InvalidArgument(path + ": " + st.message());
+  }
+  return st;
+}
+
+Status ExplorationModel::LoadFromStream(std::istream* in) {
+  BinaryReader r(in);
   uint64_t magic = 0;
   uint64_t version = 0;
   LTE_RETURN_IF_ERROR(r.ReadU64(&magic));
   if (magic != kModelMagic) {
-    return Status::InvalidArgument(path + " is not an LTE model file");
+    return Status::InvalidArgument("not an LTE model file");
   }
   LTE_RETURN_IF_ERROR(r.ReadU64(&version));
   if (version != kModelVersion) {
@@ -284,6 +310,7 @@ Status ExplorationModel::Load(const std::string& path) {
   meta_trained_ = meta_trained;
   task_generation_seconds_ = 0.0;
   meta_training_seconds_ = 0.0;
+  RecomputeFingerprint();
   return Status::OK();
 }
 

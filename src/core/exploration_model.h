@@ -2,6 +2,7 @@
 #define LTE_CORE_EXPLORATION_MODEL_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -88,6 +89,9 @@ class ExplorationModel {
   /// round-trip freely between the two.
   Status Save(const std::string& path) const;
 
+  /// Stream counterpart of Save (same format, no file handling).
+  Status SaveToStream(std::ostream* out) const;
+
   /// Restores a pre-trained model saved by `Save` (or by the `Explorer`
   /// facade), replacing this instance's state. Sessions can start exploring
   /// immediately; no re-clustering or re-training happens. The threading
@@ -96,9 +100,22 @@ class ExplorationModel {
   /// not race with any other use of this model.
   Status Load(const std::string& path);
 
+  /// Stream counterpart of Load (same format, no file handling).
+  Status LoadFromStream(std::istream* in);
+
   /// True once Pretrain or Load has succeeded.
   bool pretrained() const { return pretrained_; }
   bool meta_trained() const { return meta_trained_; }
+
+  /// Content fingerprint of the pre-trained state: the FNV-1a 64-bit hash of
+  /// the model's serialized bytes, computed once at the end of Pretrain/Load
+  /// (the model is immutable afterwards, so the value never changes while
+  /// sessions are attached). Saved sessions are stamped with it so a stale
+  /// session cannot silently attach to a refreshed model: two models
+  /// fingerprint equal iff their serialized artifacts are byte-identical.
+  /// Host-independent — threading knobs are not serialized. 0 before
+  /// Pretrain/Load.
+  uint64_t fingerprint() const { return fingerprint_; }
 
   int64_t num_subspaces() const {
     return static_cast<int64_t>(subspaces_.size());
@@ -143,12 +160,17 @@ class ExplorationModel {
     std::unique_ptr<MetaLearner> meta_learner;
   };
 
+  /// Serializes to a string and hashes it; called once at the end of
+  /// Pretrain/Load so `fingerprint()` is a pure read afterwards.
+  void RecomputeFingerprint();
+
   ExplorerOptions options_;
   preprocess::TabularEncoder encoder_;
   std::vector<data::Subspace> subspaces_;
   std::vector<SubspaceModel> subspace_models_;
   bool pretrained_ = false;
   bool meta_trained_ = false;
+  uint64_t fingerprint_ = 0;
   double task_generation_seconds_ = 0.0;
   double meta_training_seconds_ = 0.0;
 };

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
 #include <mutex>
 #include <numeric>
 #include <string>
 #include <utility>
 
+#include "common/binary_io.h"
 #include "common/check.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
@@ -23,6 +27,17 @@ namespace {
 /// via the public alias so cross-session batches group at the same
 /// granularity.
 constexpr int64_t kScanChunkRows = kServingBlockRows;
+
+// Session file header (see DESIGN.md §2d "Session lifecycle").
+constexpr uint64_t kSessionMagic = 0x4C5445534553534EULL;  // "LTESESSN".
+constexpr uint64_t kSessionVersion = 1;
+
+std::string HexU64(uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llX",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
 
 }  // namespace
 
@@ -41,6 +56,202 @@ void ExplorationSession::Reset() {
   states_.clear();
   active_count_ = 0;
   variant_ = Variant::kBasic;
+}
+
+void ExplorationSession::SeedRng(uint64_t seed) { rng_.emplace(seed); }
+
+Rng* ExplorationSession::session_rng() {
+  return rng_.has_value() ? &*rng_ : nullptr;
+}
+
+Status ExplorationSession::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  return SaveToStream(&out);
+}
+
+Status ExplorationSession::SaveToStream(std::ostream* out) const {
+  if (!model_->pretrained()) {
+    return Status::FailedPrecondition(
+        "session save: model has not been trained");
+  }
+  BinaryWriter w(out);
+  w.WriteU64(kSessionMagic);
+  w.WriteU64(kSessionVersion);
+  w.WriteU64(model_->fingerprint());
+  w.WriteU64(static_cast<uint64_t>(variant_));
+  w.WriteI64(active_count_);
+  w.WriteBool(rng_.has_value());
+  if (rng_.has_value()) rng_->Save(&w);
+  for (int64_t s = 0; s < active_count_; ++s) {
+    const SubspaceSession& state = states_[static_cast<size_t>(s)];
+    LTE_CHECK(state.task_model != nullptr);
+    w.WriteDoubleVector(state.start_labels);
+    w.WriteU64(state.history.size());
+    for (const LabeledBatch& batch : state.history) {
+      w.WritePointSet(batch.points);
+      w.WriteDoubleVector(batch.labels);
+    }
+    state.task_model->Save(&w);
+  }
+  return w.status();
+}
+
+Status ExplorationSession::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  Status st = LoadFromStream(&in);
+  if (!st.ok() && st.code() == StatusCode::kInvalidArgument) {
+    return Status::InvalidArgument(path + ": " + st.message());
+  }
+  return st;
+}
+
+Status ExplorationSession::LoadFromStream(std::istream* in) {
+  try {
+    return LoadFromStreamImpl(in);
+  } catch (const std::exception& e) {
+    // The library's error model never throws across API boundaries. The
+    // plausibility guards stop corrupted length words before allocation,
+    // but a length that is plausible yet beyond this host's memory can
+    // still throw bad_alloc — map it to a Status like any other bad file.
+    return Status::IoError(std::string("session load: ") + e.what());
+  }
+}
+
+Status ExplorationSession::LoadFromStreamImpl(std::istream* in) {
+  if (!model_->pretrained()) {
+    return Status::FailedPrecondition(
+        "session load: model has not been trained");
+  }
+  BinaryReader r(in);
+  uint64_t magic = 0;
+  uint64_t version = 0;
+  uint64_t stamp = 0;
+  uint64_t variant_u = 0;
+  LTE_RETURN_IF_ERROR(r.ReadU64(&magic));
+  if (magic != kSessionMagic) {
+    return Status::InvalidArgument("not an LTE session file");
+  }
+  LTE_RETURN_IF_ERROR(r.ReadU64(&version));
+  if (version != kSessionVersion) {
+    return Status::InvalidArgument("unsupported LTE session version " +
+                                   std::to_string(version));
+  }
+  LTE_RETURN_IF_ERROR(r.ReadU64(&stamp));
+  if (stamp != model_->fingerprint()) {
+    return Status::FailedPrecondition(
+        "session load: saved against model fingerprint " + HexU64(stamp) +
+        " but the attached model's fingerprint is " +
+        HexU64(model_->fingerprint()) +
+        " — restart the exploration against the refreshed model");
+  }
+  LTE_RETURN_IF_ERROR(r.ReadU64(&variant_u));
+  if (variant_u > static_cast<uint64_t>(Variant::kMetaStar)) {
+    return Status::IoError("session load: invalid variant");
+  }
+  const Variant variant = static_cast<Variant>(variant_u);
+  int64_t active = 0;
+  LTE_RETURN_IF_ERROR(r.ReadI64(&active));
+  if (active < 0 || active > model_->num_subspaces()) {
+    return Status::IoError("session load: active subspace count out of range");
+  }
+  if ((variant == Variant::kMeta || variant == Variant::kMetaStar) &&
+      active > 0 && !model_->meta_trained()) {
+    // Unreachable when the fingerprint matched (meta_trained is part of the
+    // hashed bytes); kept as defense in depth.
+    return Status::IoError("session load: meta session, non-meta model");
+  }
+  bool has_rng = false;
+  LTE_RETURN_IF_ERROR(r.ReadBool(&has_rng));
+  std::optional<Rng> rng;
+  if (has_rng) {
+    rng.emplace(0);
+    LTE_RETURN_IF_ERROR(rng->Load(&r));
+  }
+
+  // Decode and validate everything into temporaries; this session's state
+  // is only replaced after the whole stream checked out, so a bad file
+  // leaves the previous exploration intact.
+  std::vector<SubspaceSession> states(
+      static_cast<size_t>(model_->num_subspaces()));
+  for (int64_t s = 0; s < active; ++s) {
+    SubspaceSession& state = states[static_cast<size_t>(s)];
+    LTE_RETURN_IF_ERROR(r.ReadDoubleVector(&state.start_labels));
+    if (state.start_labels.size() != model_->InitialTuples(s)->size()) {
+      return Status::IoError("session load: label count mismatch in subspace " +
+                             std::to_string(s));
+    }
+    uint64_t num_batches = 0;
+    LTE_RETURN_IF_ERROR(r.ReadU64(&num_batches));
+    if (num_batches > (uint64_t{1} << 32)) {
+      return Status::IoError("session load: implausible history length");
+    }
+    const size_t width = model_->subspace(s)->attribute_indices.size();
+    state.history.resize(static_cast<size_t>(num_batches));
+    for (LabeledBatch& batch : state.history) {
+      LTE_RETURN_IF_ERROR(r.ReadPointSet(&batch.points));
+      LTE_RETURN_IF_ERROR(r.ReadDoubleVector(&batch.labels));
+      if (batch.points.empty() || batch.points.size() != batch.labels.size()) {
+        return Status::IoError(
+            "session load: malformed history batch in subspace " +
+            std::to_string(s));
+      }
+      for (const auto& p : batch.points) {
+        if (p.size() != width) {
+          return Status::IoError(
+              "session load: history point width mismatch in subspace " +
+              std::to_string(s));
+        }
+      }
+    }
+    state.task_model = std::make_unique<TaskModel>();
+    LTE_RETURN_IF_ERROR(TaskModel::LoadFrom(&r, state.task_model.get()));
+    if (state.task_model->f_tau().in_features() !=
+        model_->encoder().ProjectedWidth(
+            model_->subspace(s)->attribute_indices)) {
+      return Status::IoError(
+          "session load: task model width mismatch in subspace " +
+          std::to_string(s));
+    }
+    // Same handshake as StartExploration: warm the UIS-embedding cache so
+    // the serving surface is write-free under concurrent scans.
+    state.task_model->WarmUisEmbedding();
+    if (variant == Variant::kMetaStar) {
+      // The FP/FN optimizer is a pure function of the clustering context
+      // and the center labels (the first k_s start labels), so it is
+      // rebuilt rather than serialized.
+      const MetaTaskGenerator& generator = *model_->generator(s);
+      const auto k_s = static_cast<size_t>(generator.options().k_s);
+      if (state.start_labels.size() < k_s) {
+        return Status::IoError(
+            "session load: too few center labels in subspace " +
+            std::to_string(s));
+      }
+      const std::vector<double> center_labels(
+          state.start_labels.begin(),
+          state.start_labels.begin() + static_cast<int64_t>(k_s));
+      state.fpfn.emplace(generator.context(), center_labels,
+                         model_->options().fpfn);
+    }
+  }
+  // A well-formed file ends exactly at the payload boundary; trailing bytes
+  // mean the header lied about the shape of what follows.
+  char extra = 0;
+  in->read(&extra, 1);
+  if (in->gcount() != 0) {
+    return Status::IoError("session load: trailing bytes after payload");
+  }
+
+  states_ = std::move(states);
+  active_count_ = active;
+  variant_ = variant;
+  rng_ = std::move(rng);
+  return Status::OK();
 }
 
 Status ExplorationSession::StartExploration(
@@ -135,11 +346,18 @@ Status ExplorationSession::StartExploration(
         } else {
           state.fpfn.reset();
         }
+        // Persistence/audit record: the labels that produced this adapted
+        // state (Save serializes them; Load rebuilds the FP/FN optimizer
+        // from the center prefix).
+        state.start_labels = labels;
+        state.history.clear();
       });
   // Clear stale online state beyond the active prefix.
   for (size_t s = labels_per_subspace.size(); s < states_.size(); ++s) {
     states_[s].task_model.reset();
     states_[s].fpfn.reset();
+    states_[s].start_labels.clear();
+    states_[s].history.clear();
   }
   return Status::OK();
 }
@@ -213,6 +431,7 @@ Status ExplorationSession::ContinueExploration(
   LocallyAdapt(state.task_model.get(), x, labels, options.online_steps,
                options.online_batch_size, options.online_lr, rng);
   state.task_model->WarmUisEmbedding();
+  state.history.push_back(LabeledBatch{points, labels});
   return Status::OK();
 }
 

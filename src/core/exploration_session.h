@@ -2,9 +2,11 @@
 #define LTE_CORE_EXPLORATION_SESSION_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -175,9 +177,53 @@ class ExplorationSession {
   Status RetrieveMatches(const data::Table& table, int64_t limit,
                          std::vector<int64_t>* matches) const;
 
-  /// Drops all adapted state, returning the session to its pre-
-  /// StartExploration state (the model is untouched).
+  /// Drops all adapted state (task models, FP/FN optimizers, and the
+  /// labeled-tuple history), returning the session to its pre-
+  /// StartExploration state. The model and the session rng are untouched.
   void Reset();
+
+  /// Installs (or re-seeds) the session-owned rng. A session whose online
+  /// updates draw from this stream — pass `session_rng()` to
+  /// StartExploration/ContinueExploration — carries its full random state
+  /// through Save/Load, so a restored session continues draw-for-draw where
+  /// the saved one stopped (the byte-identical-reconnect contract the
+  /// SessionManager churn tests enforce). Optional: callers managing their
+  /// own Rng lifetimes can keep passing an external generator, at the price
+  /// of persisting it themselves.
+  void SeedRng(uint64_t seed);
+
+  /// The session-owned rng, or nullptr when SeedRng has never run (and no
+  /// Load restored one). Mutating like StartExploration: do not draw from it
+  /// concurrently with this session's other calls.
+  Rng* session_rng();
+
+  /// Session persistence: writes this user's full online state — variant,
+  /// per-subspace adapted `TaskModel`s, the labeled-tuple history
+  /// (StartExploration labels plus every ContinueExploration batch), and the
+  /// session rng if seeded — stamped with the owning model's content
+  /// fingerprint (`ExplorationModel::fingerprint()`). The Meta* FP/FN
+  /// optimizer is not serialized: it is a pure function of the clustering
+  /// context and the initial center labels, so Load rebuilds it from the
+  /// recorded history. Requires the model to be pretrained; an unstarted
+  /// session saves fine (and restores to an unstarted session).
+  Status Save(const std::string& path) const;
+
+  /// Stream counterpart of Save (same format, no file handling).
+  Status SaveToStream(std::ostream* out) const;
+
+  /// Restores a session saved by `Save` into this session, replacing all
+  /// online state. The file must have been saved against a model whose
+  /// fingerprint matches this session's model — a stale session meeting a
+  /// refreshed model returns FailedPrecondition (with both fingerprints in
+  /// the message), never a crash. Any truncated or corrupted stream returns
+  /// an error Status and leaves this session's previous state fully intact:
+  /// the decode validates everything into temporaries and commits only on
+  /// success. Host knobs (num_threads override, scan path) are not part of
+  /// the file and keep their current values.
+  Status Load(const std::string& path);
+
+  /// Stream counterpart of Load (same format, no file handling).
+  Status LoadFromStream(std::istream* in);
 
   /// FailedPrecondition before StartExploration; InvalidArgument when
   /// `table` is narrower than an active subspace's attribute indices. The
@@ -220,11 +266,23 @@ class ExplorationSession {
   void set_scan_path(ScanPath path) { scan_path_ = path; }
 
  private:
-  /// Per-subspace online state: the fast-adapted classifier plus the Meta*
-  /// prediction optimizer.
+  /// One ContinueExploration call's labelled tuples (raw subspace
+  /// coordinates), recorded for persistence and audit/replay.
+  struct LabeledBatch {
+    std::vector<std::vector<double>> points;
+    std::vector<double> labels;
+  };
+
+  /// Per-subspace online state: the fast-adapted classifier, the Meta*
+  /// prediction optimizer, and the labeled-tuple history that produced them
+  /// (start_labels over the model's InitialTuples, then one LabeledBatch per
+  /// ContinueExploration call — unbounded but tiny: a handful of doubles per
+  /// user interaction).
   struct SubspaceSession {
     std::unique_ptr<TaskModel> task_model;
     std::optional<FpFnOptimizer> fpfn;
+    std::vector<double> start_labels;
+    std::vector<LabeledBatch> history;
   };
 
   /// Reusable per-lane buffers for the hot prediction path: the raw
@@ -262,6 +320,10 @@ class ExplorationSession {
                             std::span<const int64_t> rows,
                             BlockScratch* scratch, double* out) const;
 
+  /// LoadFromStream body; the wrapper maps any escaping allocation failure
+  /// (e.g. a plausible-but-huge corrupted length) to an IoError Status.
+  Status LoadFromStreamImpl(std::istream* in);
+
   /// PredictSubspace body minus the misuse checks (callers validated).
   double PredictSubspaceUnchecked(int64_t s, const std::vector<double>& point,
                                   Scratch* scratch) const;
@@ -277,6 +339,7 @@ class ExplorationSession {
   int64_t active_count_ = 0;
   Variant variant_ = Variant::kBasic;
   ScanPath scan_path_ = ScanPath::kColumnar;
+  std::optional<Rng> rng_;  // Session-owned stream; persisted when present.
 };
 
 }  // namespace lte::core

@@ -217,6 +217,18 @@ class Explorer {
     return model_.Load(path);
   }
 
+  /// Session persistence for the facade's own session: writes this user's
+  /// online state (adapted task models, labeled-tuple history, session rng)
+  /// stamped with `model().fingerprint()`. See
+  /// `ExplorationSession::Save/Load` for the format and failure contract —
+  /// in particular, a session saved against one model refuses to load
+  /// against a facade whose model was retrained or replaced
+  /// (FailedPrecondition, both fingerprints in the message).
+  Status SaveSession(const std::string& path) const {
+    return session_.Save(path);
+  }
+  Status LoadSession(const std::string& path) { return session_.Load(path); }
+
  private:
   ExplorationModel model_;
   ExplorationSession session_;

@@ -307,6 +307,58 @@ void TaskModel::ApplyAccumulated(double lr, double max_grad_norm) {
   emb_r_valid_ = false;
 }
 
+void TaskModel::Save(BinaryWriter* writer) const {
+  writer->WriteBool(use_memory_);
+  writer->WriteDoubleVector(uis_feature_);
+  writer->WriteDoubleVector(attention_);
+  f_r_.Save(writer);
+  f_tau_.Save(writer);
+  f_clf_.Save(writer);
+  if (use_memory_) m_cp_.Save(writer);
+  writer->WriteDoubleVector(support_grad_r_);
+}
+
+Status TaskModel::LoadFrom(BinaryReader* reader, TaskModel* out) {
+  TaskModel tm;
+  LTE_RETURN_IF_ERROR(reader->ReadBool(&tm.use_memory_));
+  LTE_RETURN_IF_ERROR(reader->ReadDoubleVector(&tm.uis_feature_));
+  LTE_RETURN_IF_ERROR(reader->ReadDoubleVector(&tm.attention_));
+  LTE_RETURN_IF_ERROR(tm.f_r_.Load(reader));
+  LTE_RETURN_IF_ERROR(tm.f_tau_.Load(reader));
+  LTE_RETURN_IF_ERROR(tm.f_clf_.Load(reader));
+  if (tm.use_memory_) {
+    LTE_RETURN_IF_ERROR(tm.m_cp_.Load(reader));
+  }
+  LTE_RETURN_IF_ERROR(reader->ReadDoubleVector(&tm.support_grad_r_));
+
+  // Structural sanity: the three blocks and M_cp must agree on the shared
+  // embedding size and the classifier input width (Section VI-A wiring).
+  const int64_t ne = tm.f_r_.out_features();
+  if (tm.f_tau_.out_features() != ne || tm.f_clf_.out_features() != 1) {
+    return Status::IoError("task model load: block shape mismatch");
+  }
+  if (static_cast<int64_t>(tm.uis_feature_.size()) != tm.f_r_.in_features()) {
+    return Status::IoError("task model load: UIS feature width mismatch");
+  }
+  if (static_cast<int64_t>(tm.support_grad_r_.size()) !=
+      tm.f_r_.ParameterCount()) {
+    return Status::IoError("task model load: support gradient size mismatch");
+  }
+  if (tm.use_memory_) {
+    if (tm.m_cp_.rows() != ne || tm.m_cp_.cols() != 2 * ne ||
+        tm.f_clf_.in_features() != ne) {
+      return Status::IoError("task model load: conversion shape mismatch");
+    }
+    tm.grad_m_cp_ = nn::Matrix(ne, 2 * ne);
+  } else if (tm.f_clf_.in_features() != 2 * ne) {
+    return Status::IoError("task model load: classifier input mismatch");
+  }
+  tm.ZeroGrad();
+  tm.emb_r_valid_ = false;
+  *out = std::move(tm);
+  return Status::OK();
+}
+
 void TaskModel::ZeroGrad() {
   f_r_.ZeroGrad();
   f_tau_.ZeroGrad();

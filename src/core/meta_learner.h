@@ -127,6 +127,19 @@ class TaskModel {
   /// (used by the M_R memory update, Eq. 15).
   const std::vector<double>& support_grad_r() const { return support_grad_r_; }
 
+  /// Serialization (session persistence): the adapted parameters θ, the
+  /// retrieved M_cp, v_R, the attention, and the accumulated θ_R support
+  /// gradient. Per-step gradient accumulators are *not* written — every
+  /// adaptation step ends with ApplyAccumulated → ZeroGrad, so a task model
+  /// at rest has all-zero accumulators and LoadFrom recreates them fresh.
+  void Save(BinaryWriter* writer) const;
+
+  /// Reconstructs a task model from a stream written by Save, validating
+  /// block shapes against each other so a corrupted stream surfaces as an
+  /// error Status instead of a malformed model. The UIS-embedding cache
+  /// starts cold — call WarmUisEmbedding() before fanning out predictions.
+  static Status LoadFrom(BinaryReader* reader, TaskModel* out);
+
  private:
   friend class MetaLearner;
 

@@ -1,0 +1,199 @@
+#include "serving/session_manager.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "common/check.h"
+
+namespace lte::serving {
+namespace {
+
+// User ids name checkpoint files, so the alphabet is restricted to what is
+// safe in a filename on every filesystem the serving hosts use. A leading
+// dot is rejected so ids can never collide with hidden/tmp artifacts.
+bool ValidUserId(const std::string& user_id) {
+  if (user_id.empty() || user_id.size() > 128 || user_id.front() == '.') {
+    return false;
+  }
+  for (char c : user_id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SessionManager::Lease& SessionManager::Lease::operator=(
+    Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    manager_ = other.manager_;
+    entry_ = other.entry_;
+    other.manager_ = nullptr;
+    other.entry_ = nullptr;
+  }
+  return *this;
+}
+
+void SessionManager::Lease::Release() {
+  if (manager_ != nullptr && entry_ != nullptr) {
+    manager_->ReleaseEntry(entry_);
+  }
+  manager_ = nullptr;
+  entry_ = nullptr;
+}
+
+SessionManager::SessionManager(const core::ExplorationModel* model,
+                               SessionManagerOptions options)
+    : model_(model), options_(std::move(options)) {
+  LTE_CHECK(model != nullptr);
+  LTE_CHECK_GE(options_.max_resident, 1);
+  LTE_CHECK_MSG(!options_.checkpoint_dir.empty(),
+                "SessionManagerOptions::checkpoint_dir is required");
+  // Best effort; a genuinely unusable directory surfaces as an IoError on
+  // the first checkpoint write instead of aborting construction.
+  std::error_code ec;
+  std::filesystem::create_directories(options_.checkpoint_dir, ec);
+}
+
+std::string SessionManager::CheckpointPath(const std::string& user_id) const {
+  return options_.checkpoint_dir + "/" + user_id + ".ltesession";
+}
+
+Status SessionManager::SaveCheckpointLocked(
+    const core::ExplorationSession& session, const std::string& user_id) {
+  const std::string path = CheckpointPath(user_id);
+  const std::string tmp = path + ".tmp";
+  const Status st = session.Save(tmp);
+  if (!st.ok()) {
+    std::remove(tmp.c_str());  // Best effort; a stale .tmp is harmless.
+    return st;
+  }
+  // POSIX rename is atomic within a filesystem: a crash before this line
+  // leaves the previous checkpoint intact, a crash after it leaves the new
+  // one — never a half-written file under the checkpoint name.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("session manager: cannot rename " + tmp + " to " +
+                           path);
+  }
+  return Status::OK();
+}
+
+bool SessionManager::EvictOneLocked() {
+  Entry* victim = nullptr;
+  const std::string* victim_id = nullptr;
+  for (auto& [user_id, entry] : entries_) {
+    if (entry.session == nullptr || entry.pins > 0) continue;
+    if (victim == nullptr || entry.last_use < victim->last_use) {
+      victim = &entry;
+      victim_id = &user_id;
+    }
+  }
+  if (victim == nullptr) return false;  // Everything resident is pinned.
+  if (!SaveCheckpointLocked(*victim->session, *victim_id).ok()) {
+    // Never drop state without a durable copy; the session stays resident
+    // (transient overshoot) and a later acquire/release retries.
+    ++stats_.eviction_failures;
+    return false;
+  }
+  victim->session.reset();
+  victim->on_disk = true;
+  --resident_;
+  ++stats_.evictions;
+  return true;
+}
+
+void SessionManager::TrimLocked(int64_t target) {
+  while (resident_ > target) {
+    if (!EvictOneLocked()) break;
+  }
+}
+
+Status SessionManager::Acquire(const std::string& user_id, Lease* lease) {
+  if (lease == nullptr) {
+    return Status::InvalidArgument("session manager: lease must not be null");
+  }
+  lease->Release();
+  if (!ValidUserId(user_id)) {
+    return Status::InvalidArgument("session manager: invalid user id \"" +
+                                   user_id + "\"");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = entries_.try_emplace(user_id);
+  Entry& entry = it->second;
+  if (inserted) {
+    // First contact in this process. A checkpoint may still exist on disk —
+    // left by a previous run of this manager or of the whole process — and
+    // durable state must survive a restart, so adopt it.
+    std::error_code ec;
+    entry.on_disk = std::filesystem::exists(CheckpointPath(user_id), ec);
+  }
+  if (entry.session == nullptr) {
+    // Make room for the incoming session first, so residency only
+    // overshoots max_resident when everything else is pinned.
+    TrimLocked(options_.max_resident - 1);
+    auto session = std::make_unique<core::ExplorationSession>(
+        model_, options_.session_num_threads);
+    if (entry.on_disk) {
+      const Status st = session->Load(CheckpointPath(user_id));
+      if (!st.ok()) {
+        // The checkpoint stays on disk untouched; the entry stays evicted.
+        if (inserted) entries_.erase(it);
+        return st;
+      }
+      ++stats_.restores;
+    } else {
+      ++stats_.creates;
+    }
+    entry.session = std::move(session);
+    ++resident_;
+    stats_.peak_resident = std::max(stats_.peak_resident, resident_);
+  } else {
+    ++stats_.hits;
+  }
+  ++entry.pins;
+  entry.last_use = ++tick_;
+  lease->manager_ = this;
+  lease->entry_ = &entry;
+  return Status::OK();
+}
+
+void SessionManager::ReleaseEntry(Entry* entry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  LTE_CHECK_GT(entry->pins, 0);
+  --entry->pins;
+  // A release may have just made an over-capacity session evictable.
+  TrimLocked(options_.max_resident);
+}
+
+Status SessionManager::CheckpointAll() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Status first_error = Status::OK();
+  for (auto& [user_id, entry] : entries_) {
+    if (entry.session == nullptr) continue;
+    const Status st = SaveCheckpointLocked(*entry.session, user_id);
+    if (st.ok()) {
+      entry.on_disk = true;
+    } else if (first_error.ok()) {
+      first_error = st;
+    }
+  }
+  return first_error;
+}
+
+int64_t SessionManager::resident_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return resident_;
+}
+
+SessionManagerStats SessionManager::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace lte::serving

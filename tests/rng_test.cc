@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
+
+#include "common/binary_io.h"
 
 namespace lte {
 namespace {
@@ -129,6 +132,43 @@ TEST(RngTest, KeyedForkSeparatesConsecutiveKeys) {
   for (uint64_t k = 0; k < 64; ++k) seeds.push_back(parent.Fork(k).seed());
   std::sort(seeds.begin(), seeds.end());
   EXPECT_EQ(std::unique(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(RngTest, SaveLoadResumesStreamExactly) {
+  Rng original(91);
+  for (int i = 0; i < 37; ++i) original.Uniform();  // Mid-stream state.
+  std::ostringstream bytes(std::ios::binary);
+  {
+    BinaryWriter writer(&bytes);
+    original.Save(&writer);
+    ASSERT_TRUE(writer.status().ok());
+  }
+  Rng restored(0);
+  std::istringstream in(bytes.str(), std::ios::binary);
+  BinaryReader reader(&in);
+  ASSERT_TRUE(restored.Load(&reader).ok());
+  EXPECT_EQ(restored.seed(), original.seed());
+  // Sequential draws resume draw-for-draw...
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(original.UniformInt(1 << 30), restored.UniformInt(1 << 30));
+  }
+  // ...and keyed forks (functions of the construction seed) agree too.
+  EXPECT_EQ(original.Fork(5).UniformInt(1 << 30),
+            restored.Fork(5).UniformInt(1 << 30));
+}
+
+TEST(RngTest, LoadRejectsMalformedEngineState) {
+  std::ostringstream bytes(std::ios::binary);
+  {
+    BinaryWriter writer(&bytes);
+    writer.WriteU64(9);
+    writer.WriteString("definitely not an mt19937_64 state");
+    ASSERT_TRUE(writer.status().ok());
+  }
+  Rng restored(0);
+  std::istringstream in(bytes.str(), std::ios::binary);
+  BinaryReader reader(&in);
+  EXPECT_FALSE(restored.Load(&reader).ok());
 }
 
 TEST(RngTest, ShufflePermutes) {
