@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -95,9 +96,9 @@ void Run() {
   core::ExplorerOptions opt = BaseRunnerOptions(1, ConvexPsi()).explorer;
   opt.num_meta_tasks = SmokeMode() ? 30 : 150;
   opt.trainer.epochs = SmokeMode() ? 1 : 2;
-  core::ExplorationModel model(opt);
+  auto model = std::make_shared<core::ExplorationModel>(opt);
   Rng pretrain_rng(42);
-  if (!model.Pretrain(sdss, SdssSubspaces(), /*train_meta=*/true,
+  if (!model->Pretrain(sdss, SdssSubspaces(), /*train_meta=*/true,
                       &pretrain_rng)
            .ok()) {
     std::printf("pretrain failed\n");
@@ -106,7 +107,7 @@ void Run() {
 
   std::vector<int64_t> all_rows(static_cast<size_t>(sdss.num_rows()));
   std::iota(all_rows.begin(), all_rows.end(), 0);
-  const std::vector<std::vector<double>> labels = UserLabels(model);
+  const std::vector<std::vector<double>> labels = UserLabels(*model);
 
   const std::vector<core::Variant> variants = {
       core::Variant::kBasic, core::Variant::kMeta, core::Variant::kMetaStar};
@@ -121,7 +122,7 @@ void Run() {
                          "col rows/s", "speedup", "identical"});
   for (const core::Variant variant : variants) {
     for (const int64_t threads : thread_sweep) {
-      core::ExplorationSession session(&model, threads);
+      core::ExplorationSession session(model, threads);
       Rng rng(1000);
       if (!session.StartExploration(labels, variant, &rng).ok()) {
         std::printf("StartExploration failed for %s\n", VariantName(variant));

@@ -1,0 +1,446 @@
+// Live-table refresh: serving latency and result quality across a
+// drift-triggered hot model swap (DESIGN.md §2e).
+//
+// A serving host keeps answering PredictRows from a session pinned to the
+// current model epoch while an ingest thread appends drifting batches; the
+// DriftRefreshController rebuilds the model in the background and publishes
+// it through the ModelRegistry. This bench measures the request latency of
+// the pinned session before / during / after the rebuild, and the quality
+// gap the refresh closes: a user whose interest lives in the newly arrived
+// data region, served once by the stale (pre-drift) model and once by the
+// refreshed one, with F1 against the ground-truth predicate.
+//
+// Two invariants ride along for the CI gate:
+//   * swap_bit_identical — every answer the pinned session gives during and
+//     after the swap is byte-identical to its pre-append answers (the
+//     RCU-style epoch pinning contract).
+//   * refresh_bit_identical — the background-published model is bit-equal to
+//     a foreground pretrain of the same row-watermark snapshot with the same
+//     epoch-derived seed (the rebuild is a pure function of its inputs).
+//
+// Expected shape: "during" latency stays within a small factor of "before"
+// (the rebuild fans out on the shared pool, so some interference is
+// expected — but serving never blocks on it), and refreshed F1 clearly
+// exceeds stale F1 (the stale encoder saturates on the new region, so the
+// stale model cannot separate structure inside it).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/exploration_session.h"
+#include "data/table.h"
+#include "eval/report.h"
+#include "serving/live_refresh.h"
+#include "serving/model_registry.h"
+
+namespace lte::bench {
+namespace {
+
+struct PhaseLatency {
+  std::string phase;
+  std::vector<double> seconds;
+
+  double MeanMs() const {
+    if (seconds.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : seconds) sum += s;
+    return 1000.0 * sum / static_cast<double>(seconds.size());
+  }
+
+  double P50Ms() const {
+    if (seconds.empty()) return 0.0;
+    std::vector<double> sorted = seconds;
+    std::sort(sorted.begin(), sorted.end());
+    return 1000.0 * sorted[sorted.size() / 2];
+  }
+};
+
+/// Per-column shift pushing a row far outside the base table's observed
+/// range: appended batches form a new, well-separated cluster region.
+std::vector<double> ColumnShifts(const data::Table& base) {
+  std::vector<double> shifts;
+  for (int64_t c = 0; c < base.num_columns(); ++c) {
+    const data::Column& col = base.column(c);
+    shifts.push_back(1.75 * (col.max() - col.min() + 1.0));
+  }
+  return shifts;
+}
+
+std::vector<std::vector<double>> ShiftedBatch(const data::Table& base,
+                                              const std::vector<double>& shifts,
+                                              int64_t n, int64_t salt) {
+  std::vector<std::vector<double>> batch;
+  batch.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<double> row = base.Row((salt * 131 + i * 7) % base.num_rows());
+    for (size_t c = 0; c < row.size(); ++c) row[c] += shifts[c];
+    batch.push_back(std::move(row));
+  }
+  return batch;
+}
+
+std::vector<std::vector<double>> SameDistributionBatch(const data::Table& base,
+                                                       int64_t n,
+                                                       int64_t salt) {
+  std::vector<std::vector<double>> batch;
+  batch.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    batch.push_back(base.Row((salt * 131 + i * 7) % base.num_rows()));
+  }
+  return batch;
+}
+
+/// Mixed start labels for the pinned serving session (subspace 0 only): the
+/// usual below-median scheme over the model's own initial tuples.
+std::vector<std::vector<double>> ServeLabels(
+    const core::ExplorationModel& model) {
+  const auto& tuples = *model.InitialTuples(0);
+  std::vector<double> firsts;
+  for (const auto& t : tuples) firsts.push_back(t[0]);
+  std::sort(firsts.begin(), firsts.end());
+  const double threshold = firsts[firsts.size() / 2];
+  std::vector<std::vector<double>> labels(1);
+  for (const auto& t : tuples) {
+    labels[0].push_back(t[0] < threshold ? 1.0 : 0.0);
+  }
+  return labels;
+}
+
+double F1(const std::vector<double>& predictions,
+          const std::vector<char>& truth) {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const bool predicted = predictions[i] > 0.5;
+    if (predicted && truth[i]) ++tp;
+    if (predicted && !truth[i]) ++fp;
+    if (!predicted && truth[i]) ++fn;
+  }
+  const int64_t denom = 2 * tp + fp + fn;
+  return denom > 0 ? 2.0 * static_cast<double>(tp) / static_cast<double>(denom)
+                   : 0.0;
+}
+
+void Run() {
+  PrintHeader("Live refresh: latency + F1 across a drift-triggered hot swap");
+  std::printf("hardware threads available: %lld\n",
+              static_cast<long long>(DefaultThreadCount()));
+
+  const int64_t rows = SmokeMode() ? 6000 : (FullScale() ? 60000 : 20000);
+  const int64_t batch_rows = SmokeMode() ? 256 : 512;
+  const int64_t drift_batches = SmokeMode() ? 4 : 8;
+  const int64_t reps = SmokeMode() ? 5 : 20;
+  const int64_t slice = 2048;
+
+  Rng data_rng(11);
+  const data::Table base = data::MakeSdssLike(rows, &data_rng);
+  const std::vector<double> shifts = ColumnShifts(base);
+
+  // Basic-variant serving against a shared model (as in bench_multi_session
+  // and bench_session_churn): the refresh path re-runs the same offline
+  // phase the initial pretrain ran, so meta-training stays off to keep
+  // rebuild-vs-serving interference the only moving part.
+  const core::ExplorerOptions opt = BaseRunnerOptions(1, ConvexPsi()).explorer;
+  auto model = std::make_shared<core::ExplorationModel>(opt);
+  Rng pretrain_rng(42);
+  if (!model->Pretrain(base, SdssSubspaces(), /*train_meta=*/false,
+                       &pretrain_rng)
+           .ok()) {
+    std::printf("pretrain failed\n");
+    return;
+  }
+
+  data::Table live = base;
+  serving::ModelRegistry registry(model);
+  serving::DriftRefreshOptions refresh_options;
+  refresh_options.drift.window_size = batch_rows;
+  serving::DriftRefreshController controller(&registry, &live, SdssSubspaces(),
+                                             refresh_options);
+
+  // The pinned serving session: epoch 1, subspace 0 only, scanning a fixed
+  // base-row slice — rows no append ever touches, so its answers must never
+  // change.
+  const serving::ModelSnapshot pinned = registry.Current();
+  core::ExplorationSession session(pinned.model, /*num_threads=*/1);
+  Rng serve_rng(1000);
+  if (!session
+           .StartExploration(ServeLabels(*pinned.model), core::Variant::kBasic,
+                             &serve_rng)
+           .ok()) {
+    std::printf("StartExploration failed\n");
+    return;
+  }
+  std::vector<int64_t> slice_rows(static_cast<size_t>(slice));
+  std::iota(slice_rows.begin(), slice_rows.end(), 0);
+
+  bool swap_bit_identical = true;
+  std::vector<double> reference;
+  if (!session.PredictRows(live, slice_rows, &reference).ok()) {
+    std::printf("serving failed\n");
+    return;
+  }
+
+  auto timed_rep = [&](PhaseLatency* phase) {
+    std::vector<double> predictions;
+    Stopwatch sw;
+    if (!session.PredictRows(live, slice_rows, &predictions).ok()) {
+      swap_bit_identical = false;
+      return;
+    }
+    const double elapsed = sw.ElapsedSeconds();
+    if (phase != nullptr) phase->seconds.push_back(elapsed);
+    if (predictions != reference) swap_bit_identical = false;
+  };
+
+  PhaseLatency before{"before", {}};
+  PhaseLatency during{"during", {}};
+  PhaseLatency after{"after", {}};
+  for (int64_t r = 0; r < reps; ++r) timed_rep(&before);
+
+  // Ingest thread: one same-distribution warmup batch, then drifting
+  // batches. The first shifted batch completes a detector window and
+  // triggers the background rebuild; later batches land while it runs.
+  // Trigger watermarks are recorded so the published model can be re-derived
+  // in the foreground afterwards (join(ingest) orders them before the read).
+  std::vector<std::pair<uint64_t, int64_t>> trigger_watermarks;
+  std::atomic<bool> ingest_done{false};
+  bool ingest_ok = true;
+  std::thread ingest([&] {
+    int64_t triggers_seen = 0;
+    auto observe = [&](const std::vector<std::vector<double>>& batch) {
+      if (!controller.AppendAndObserve(batch).ok()) {
+        ingest_ok = false;
+        return;
+      }
+      const int64_t triggered = controller.stats().refreshes_triggered;
+      if (triggered > triggers_seen) {
+        // The k-th trigger publishes epoch k + 1 at exactly this row count.
+        triggers_seen = triggered;
+        trigger_watermarks.emplace_back(
+            static_cast<uint64_t>(triggers_seen) + 1, live.num_rows());
+      }
+    };
+    observe(SameDistributionBatch(base, batch_rows, /*salt=*/0));
+    for (int64_t b = 0; b < drift_batches && ingest_ok; ++b) {
+      observe(ShiftedBatch(base, shifts, batch_rows, /*salt=*/b));
+    }
+    ingest_done.store(true, std::memory_order_release);
+  });
+
+  // Serve while the ingest and the rebuild run; reps overlapping the
+  // rebuild land in the "during" bucket, the rest are discarded (still
+  // checked for byte-identity).
+  while (!ingest_done.load(std::memory_order_acquire) ||
+         controller.refresh_in_flight()) {
+    timed_rep(controller.refresh_in_flight() ? &during : nullptr);
+  }
+  ingest.join();
+  controller.WaitForRefresh();
+  for (int64_t r = 0; r < reps; ++r) timed_rep(&after);
+
+  const serving::DriftRefreshStats stats = controller.stats();
+  const serving::ModelSnapshot refreshed = registry.Current();
+  if (!ingest_ok || stats.refreshes_completed == 0) {
+    std::printf("refresh never completed (triggered=%lld, failures=%lld)\n",
+                static_cast<long long>(stats.refreshes_triggered),
+                static_cast<long long>(stats.refresh_failures));
+    return;
+  }
+
+  // refresh_bit_identical: re-derive the last published model in the
+  // foreground from its recorded watermark and epoch-derived seed.
+  bool refresh_bit_identical = false;
+  for (const auto& [epoch, watermark] : trigger_watermarks) {
+    if (epoch != refreshed.epoch) continue;
+    const data::Table snapshot = live.SnapshotPrefix(watermark);
+    core::ExplorationModel foreground(opt);
+    Rng rebuild_rng(refresh_options.rebuild_seed + epoch);
+    if (foreground
+            .Pretrain(snapshot, SdssSubspaces(), /*train_meta=*/false,
+                      &rebuild_rng)
+            .ok()) {
+      refresh_bit_identical = foreground.fingerprint() == refreshed.fingerprint;
+    }
+  }
+
+  // ---- Quality: a user whose interest lives in the new region. ----
+  // Ground truth on subspace 0 (attributes 0, 1): interesting iff the row is
+  // in the shifted region AND its attribute-1 value falls below the shifted
+  // region's median — structure *inside* the new region, which the stale
+  // encoder (fit before the region existed) collapses to a single saturated
+  // code point.
+  const double region_lo =
+      base.column(0).max() +
+      0.25 * (base.column(0).max() - base.column(0).min());
+  std::vector<double> appended_attr1;
+  for (int64_t r = rows; r < live.num_rows(); ++r) {
+    appended_attr1.push_back(live.Row(r)[1]);
+  }
+  std::sort(appended_attr1.begin(), appended_attr1.end());
+  const double attr1_median = appended_attr1[appended_attr1.size() / 2];
+  auto truth_of = [&](const std::vector<double>& row) {
+    return row[0] > region_lo && row[1] < attr1_median;
+  };
+
+  // Eval rows: every appended row plus an equal-size base sample, so the new
+  // region carries real weight in the score.
+  const int64_t appended = live.num_rows() - rows;
+  std::vector<int64_t> eval_rows;
+  for (int64_t r = rows; r < live.num_rows(); ++r) eval_rows.push_back(r);
+  const int64_t stride = std::max<int64_t>(1, rows / appended);
+  for (int64_t r = 0;
+       r < rows && static_cast<int64_t>(eval_rows.size()) < 2 * appended;
+       r += stride) {
+    eval_rows.push_back(r);
+  }
+  std::vector<char> truth;
+  for (int64_t r : eval_rows) {
+    truth.push_back(truth_of(live.Row(r)) ? 1 : 0);
+  }
+
+  // Both sessions receive the *same* user feedback: start labels on their
+  // own initial tuples under the ground-truth predicate, then identical
+  // labeled batches mixing new-region and base points.
+  auto explore_and_score =
+      [&](const std::shared_ptr<const core::ExplorationModel>& m,
+          uint64_t seed, double* f1) {
+        core::ExplorationSession user(m, /*num_threads=*/1);
+        std::vector<std::vector<double>> labels(1);
+        for (const auto& t : *m->InitialTuples(0)) {
+          labels[0].push_back(truth_of(t) ? 1.0 : 0.0);
+        }
+        Rng rng(seed);
+        if (!user.StartExploration(labels, core::Variant::kBasic, &rng).ok()) {
+          return false;
+        }
+        // Balanced feedback rounds: equal positive / negative picks from the
+        // appended region plus a few base negatives, identical for both
+        // models.
+        std::vector<int64_t> positive_rows;
+        std::vector<int64_t> negative_rows;
+        for (int64_t r = rows; r < live.num_rows(); ++r) {
+          (truth_of(live.Row(r)) ? positive_rows : negative_rows).push_back(r);
+        }
+        if (positive_rows.empty()) return false;
+        for (int64_t round = 0; round < 20; ++round) {
+          std::vector<std::vector<double>> points;
+          std::vector<double> point_labels;
+          for (int64_t i = 0; i < 25; ++i) {
+            const std::vector<double> row = live.Row(
+                positive_rows[(round * 25 + i * 13) % positive_rows.size()]);
+            points.push_back({row[0], row[1]});
+            point_labels.push_back(1.0);
+          }
+          for (int64_t i = 0; i < 20; ++i) {
+            const std::vector<double> row = live.Row(
+                negative_rows[(round * 20 + i * 17) % negative_rows.size()]);
+            points.push_back({row[0], row[1]});
+            point_labels.push_back(0.0);
+          }
+          for (int64_t i = 0; i < 5; ++i) {
+            const std::vector<double> row =
+                base.Row((round * 977 + i * 101) % rows);
+            points.push_back({row[0], row[1]});
+            point_labels.push_back(0.0);
+          }
+          if (!user.ContinueExploration(0, points, point_labels, &rng).ok()) {
+            return false;
+          }
+        }
+        std::vector<double> predictions;
+        if (!user.PredictRows(live, eval_rows, &predictions).ok()) {
+          return false;
+        }
+        *f1 = F1(predictions, truth);
+        return true;
+      };
+
+  double stale_f1 = 0.0;
+  double refreshed_f1 = 0.0;
+  const bool quality_ok =
+      explore_and_score(pinned.model, 2000, &stale_f1) &&
+      explore_and_score(refreshed.model, 2000, &refreshed_f1);
+  const bool f1_improved = quality_ok && refreshed_f1 > stale_f1;
+
+  eval::TextTable table({"phase", "reps", "mean (ms)", "p50 (ms)"});
+  for (const PhaseLatency* phase : {&before, &during, &after}) {
+    table.AddRow(phase->phase,
+                 {static_cast<double>(phase->seconds.size()), phase->MeanMs(),
+                  phase->P50Ms()},
+                 2);
+  }
+  table.Print();
+  std::printf("epoch published: %llu (triggered %lld, completed %lld)\n",
+              static_cast<unsigned long long>(refreshed.epoch),
+              static_cast<long long>(stats.refreshes_triggered),
+              static_cast<long long>(stats.refreshes_completed));
+  std::printf("pinned session byte-identical across swap: %s\n",
+              swap_bit_identical ? "yes" : "NO — epoch pinning violated");
+  std::printf("background rebuild == foreground rebuild: %s\n",
+              refresh_bit_identical ? "yes" : "NO — rebuild not deterministic");
+  std::printf("F1 on the drifted workload: stale %.3f -> refreshed %.3f (%s)\n",
+              stale_f1, refreshed_f1,
+              f1_improved ? "improved" : "NOT improved");
+
+  const std::string json_path = JsonOutputPath();
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("could not open %s for writing\n", json_path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"live_refresh\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n",
+                 SmokeMode() ? "smoke" : (FullScale() ? "full" : "scaled"));
+    std::fprintf(f, "  \"rows\": %lld,\n", static_cast<long long>(rows));
+    std::fprintf(f, "  \"appended_rows\": %lld,\n",
+                 static_cast<long long>(appended));
+    std::fprintf(f, "  \"published_epoch\": %llu,\n",
+                 static_cast<unsigned long long>(refreshed.epoch));
+    std::fprintf(f, "  \"refreshes_triggered\": %lld,\n",
+                 static_cast<long long>(stats.refreshes_triggered));
+    std::fprintf(f, "  \"refreshes_completed\": %lld,\n",
+                 static_cast<long long>(stats.refreshes_completed));
+    std::fprintf(f, "  \"swap_bit_identical\": %s,\n",
+                 swap_bit_identical ? "true" : "false");
+    std::fprintf(f, "  \"refresh_bit_identical\": %s,\n",
+                 refresh_bit_identical ? "true" : "false");
+    std::fprintf(f, "  \"stale_f1\": %.6f,\n", stale_f1);
+    std::fprintf(f, "  \"refreshed_f1\": %.6f,\n", refreshed_f1);
+    std::fprintf(f, "  \"f1_improved\": %s,\n", f1_improved ? "true" : "false");
+    std::fprintf(f, "  \"latency\": [\n");
+    const PhaseLatency* phases[] = {&before, &during, &after};
+    for (size_t i = 0; i < 3; ++i) {
+      std::fprintf(f,
+                   "    {\"phase\": \"%s\", \"reps\": %lld, "
+                   "\"mean_ms\": %.4f, \"p50_ms\": %.4f}%s\n",
+                   phases[i]->phase.c_str(),
+                   static_cast<long long>(phases[i]->seconds.size()),
+                   phases[i]->MeanMs(), phases[i]->P50Ms(),
+                   i + 1 < 3 ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote JSON results to %s\n", json_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace lte::bench
+
+int main() {
+  lte::bench::Run();
+  return 0;
+}

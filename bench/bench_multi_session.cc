@@ -89,13 +89,15 @@ std::vector<std::vector<double>> UserLabels(const core::ExplorationModel& model,
 /// Runs user `u` end to end on a fresh session: fast-adapt, `reps` full-table
 /// batch predictions, and one bounded retrieval. Returns false on any non-OK
 /// status.
-bool RunUser(const core::ExplorationModel& model, const data::Table& table,
-             const std::vector<int64_t>& all_rows, int64_t u,
-             int64_t threads_per_session, int64_t reps, UserOutcome* out) {
-  core::ExplorationSession session(&model, threads_per_session);
+bool RunUser(const std::shared_ptr<const core::ExplorationModel>& model,
+             const data::Table& table, const std::vector<int64_t>& all_rows,
+             int64_t u, int64_t threads_per_session, int64_t reps,
+             UserOutcome* out) {
+  core::ExplorationSession session(model, threads_per_session);
   Rng rng(1000 + static_cast<uint64_t>(u));
   if (!session
-           .StartExploration(UserLabels(model, u), core::Variant::kBasic, &rng)
+           .StartExploration(UserLabels(*model, u), core::Variant::kBasic,
+                             &rng)
            .ok()) {
     return false;
   }
@@ -121,9 +123,9 @@ void Run() {
   // as in bench_fig6_runtime) — the sweep measures the serving path, not
   // meta-training.
   core::ExplorerOptions opt = BaseRunnerOptions(1, ConvexPsi()).explorer;
-  core::ExplorationModel model(opt);
+  auto model = std::make_shared<core::ExplorationModel>(opt);
   Rng pretrain_rng(42);
-  if (!model.Pretrain(sdss, SdssSubspaces(), /*train_meta=*/false,
+  if (!model->Pretrain(sdss, SdssSubspaces(), /*train_meta=*/false,
                       &pretrain_rng)
            .ok()) {
     std::printf("pretrain failed\n");
@@ -225,10 +227,10 @@ void Run() {
   bool setup_ok = true;
   for (int64_t u = 0; u < max_coalesced; ++u) {
     sessions.push_back(std::make_unique<core::ExplorationSession>(
-        &model, /*num_threads=*/1));
+        model, /*num_threads=*/1));
     Rng rng(1000 + static_cast<uint64_t>(u));
     if (!sessions.back()
-             ->StartExploration(UserLabels(model, u), core::Variant::kBasic,
+             ->StartExploration(UserLabels(*model, u), core::Variant::kBasic,
                                 &rng)
              .ok() ||
         !sessions.back()
@@ -281,7 +283,7 @@ void Run() {
       serving::CoalescedScanOptions copt;
       copt.max_batch_requests = s_count;
       copt.flush_deadline_micros = 1000000;
-      serving::CoalescedScanScheduler scheduler(&model, &sdss, copt);
+      serving::CoalescedScanScheduler scheduler(model, &sdss, copt);
       Stopwatch coal_sw;
       {
         std::vector<std::thread> users;
@@ -312,7 +314,7 @@ void Run() {
       // Perfect coalescing: every resubmission wave lands in one shared
       // pass, so at most reps passes per (block, subspace) — independent of
       // the session count. Independent sessions pay s_count times this.
-      row.encode_pass_bound = reps * num_blocks * model.num_subspaces();
+      row.encode_pass_bound = reps * num_blocks * model->num_subspaces();
       row.encode_amortized = row.encode_passes <= row.encode_pass_bound;
       for (int64_t u = 0; u < s_count; ++u) {
         if (ok[static_cast<size_t>(u)] == 0 ||

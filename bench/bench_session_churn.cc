@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -27,6 +28,7 @@
 #include "common/thread_pool.h"
 #include "core/exploration_session.h"
 #include "eval/report.h"
+#include "serving/model_registry.h"
 #include "serving/session_manager.h"
 
 namespace lte::bench {
@@ -99,23 +101,25 @@ void Run() {
   // Basic-variant serving against a shared model, as in bench_multi_session:
   // the sweep measures the lifecycle machinery, not meta-training.
   core::ExplorerOptions opt = BaseRunnerOptions(1, ConvexPsi()).explorer;
-  core::ExplorationModel model(opt);
+  auto model = std::make_shared<core::ExplorationModel>(opt);
   Rng pretrain_rng(42);
-  if (!model.Pretrain(sdss, SdssSubspaces(), /*train_meta=*/false,
+  if (!model->Pretrain(sdss, SdssSubspaces(), /*train_meta=*/false,
                       &pretrain_rng)
            .ok()) {
     std::printf("pretrain failed\n");
     return;
   }
 
+  serving::ModelRegistry registry(model);
+
   // Standalone ground truth per user: adapt once, never evict, scan the
   // user's slice. Every churn configuration must reproduce these bytes.
   std::vector<std::vector<double>> expected(static_cast<size_t>(users));
   for (int64_t u = 0; u < users; ++u) {
-    core::ExplorationSession session(&model, /*num_threads=*/1);
+    core::ExplorationSession session(model, /*num_threads=*/1);
     session.SeedRng(1000 + static_cast<uint64_t>(u));
     if (!session
-             .StartExploration(UserLabels(model, u), core::Variant::kBasic,
+             .StartExploration(UserLabels(*model, u), core::Variant::kBasic,
                                session.session_rng())
              .ok() ||
         !session
@@ -140,7 +144,7 @@ void Run() {
     mopt.max_resident = k;
     mopt.checkpoint_dir = FreshDir(std::to_string(k));
     mopt.session_num_threads = 1;
-    serving::SessionManager manager(&model, mopt);
+    serving::SessionManager manager(&registry, mopt);
 
     // Adapt phase (untimed): every user starts exploration once; with K < N
     // the tail of this phase already churns through checkpoints.
@@ -153,7 +157,7 @@ void Run() {
       }
       lease.session()->SeedRng(1000 + static_cast<uint64_t>(u));
       if (!lease.session()
-               ->StartExploration(UserLabels(model, u), core::Variant::kBasic,
+               ->StartExploration(UserLabels(*model, u), core::Variant::kBasic,
                                   lease.session()->session_rng())
                .ok()) {
         ok = false;

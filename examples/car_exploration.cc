@@ -69,9 +69,9 @@ int main() {
   options.online_steps = 40;
   options.online_lr = 0.2;
 
-  lte::core::ExplorationModel model(options);
+  auto model = std::make_shared<lte::core::ExplorationModel>(options);
   lte::Status status =
-      model.Pretrain(table, subspaces, /*train_meta=*/true, &rng);
+      model->Pretrain(table, subspaces, /*train_meta=*/true, &rng);
   if (!status.ok()) {
     std::printf("pretrain failed: %s\n", status.ToString().c_str());
     return 1;
@@ -83,7 +83,7 @@ int main() {
   std::vector<std::vector<double>> labels(subspaces.size());
   for (size_t s = 0; s < subspaces.size(); ++s) {
     const auto& attrs = subspaces[s].attribute_indices;
-    for (const auto& tuple : *model.InitialTuples(static_cast<int64_t>(s))) {
+    for (const auto& tuple : *model->InitialTuples(static_cast<int64_t>(s))) {
       const double a0 = normalizer.Inverse(attrs[0], tuple[0]);
       const double a1 = normalizer.Inverse(attrs[1], tuple[1]);
       const bool liked =
@@ -91,7 +91,7 @@ int main() {
       labels[s].push_back(liked ? 1.0 : 0.0);
     }
   }
-  lte::core::ExplorationSession session(&model);
+  lte::core::ExplorationSession session(model);
   status = session.StartExploration(labels, lte::core::Variant::kMetaStar,
                                     &rng);
   if (!status.ok()) {

@@ -87,10 +87,10 @@ int main(int argc, char** argv) {
   options.learner.embedding_size = 24;
   options.learner.clf_hidden = {24};
 
-  lte::core::ExplorationModel model(options);
+  auto model = std::make_shared<lte::core::ExplorationModel>(options);
   bool restored = false;
   if (!model_path.empty()) {
-    if (model.Load(model_path).ok()) {
+    if (model->Load(model_path).ok()) {
       std::printf("restored pre-trained model from %s\n", model_path.c_str());
       restored = true;
     }
@@ -102,13 +102,13 @@ int main(int argc, char** argv) {
         lte::data::DecomposeSpace(attrs, 2, &rng);
     std::printf("pre-training on %zu subspaces...\n", subspaces.size());
     const lte::Status s =
-        model.Pretrain(table, subspaces, /*train_meta=*/true, &rng);
+        model->Pretrain(table, subspaces, /*train_meta=*/true, &rng);
     if (!s.ok()) {
       std::printf("pretrain failed: %s\n", s.ToString().c_str());
       return 1;
     }
     if (!model_path.empty()) {
-      if (model.Save(model_path).ok()) {
+      if (model->Save(model_path).ok()) {
         std::printf("saved model to %s\n", model_path.c_str());
       }
     }
@@ -117,11 +117,11 @@ int main(int argc, char** argv) {
   // --- Online phase: this terminal is one user — one session. ---
   const std::vector<std::string> names = table.AttributeNames();
   std::vector<std::vector<double>> labels(
-      static_cast<size_t>(model.num_subspaces()));
-  for (int64_t s = 0; s < model.num_subspaces(); ++s) {
-    const auto& attrs = model.subspace(s)->attribute_indices;
+      static_cast<size_t>(model->num_subspaces()));
+  for (int64_t s = 0; s < model->num_subspaces(); ++s) {
+    const auto& attrs = model->subspace(s)->attribute_indices;
     std::printf("\n-- subspace %lld --\n", static_cast<long long>(s));
-    for (const auto& tuple : *model.InitialTuples(s)) {
+    for (const auto& tuple : *model->InitialTuples(s)) {
       std::vector<double> raw_values;
       for (size_t i = 0; i < attrs.size(); ++i) {
         raw_values.push_back(normalizer.Inverse(attrs[i], tuple[i]));
@@ -132,7 +132,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  lte::core::ExplorationSession session(&model);
+  lte::core::ExplorationSession session(model);
   lte::Status s =
       session.StartExploration(labels, lte::core::Variant::kMetaStar, &rng);
   if (!s.ok()) {

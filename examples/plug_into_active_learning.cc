@@ -53,14 +53,14 @@ int main() {
   options.online_steps = 40;
   options.online_lr = 0.2;
 
-  lte::core::ExplorationModel model(options);
-  if (!model.Pretrain(table, subspaces, /*train_meta=*/true, &rng).ok()) {
+  auto model = std::make_shared<lte::core::ExplorationModel>(options);
+  if (!model->Pretrain(table, subspaces, /*train_meta=*/true, &rng).ok()) {
     return 1;
   }
-  lte::core::ExplorationSession session(&model);
+  lte::core::ExplorationSession session(model);
 
   // Round 0: the standard LTE initial exploration.
-  std::vector<std::vector<double>> initial = *model.InitialTuples(0);
+  std::vector<std::vector<double>> initial = *model->InitialTuples(0);
   std::vector<std::vector<double>> labelled_points = initial;
   std::vector<double> labelled_y;
   std::vector<std::vector<double>> labels(1);

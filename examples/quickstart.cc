@@ -52,15 +52,15 @@ int main() {
   options.online_steps = 40;
   options.online_lr = 0.2;
 
-  lte::core::ExplorationModel model(options);
+  auto model = std::make_shared<lte::core::ExplorationModel>(options);
   lte::Status status =
-      model.Pretrain(table, subspaces, /*train_meta=*/true, &rng);
+      model->Pretrain(table, subspaces, /*train_meta=*/true, &rng);
   if (!status.ok()) {
     std::printf("pretrain failed: %s\n", status.ToString().c_str());
     return 1;
   }
   std::printf("pre-training done: task generation %.2fs, meta-training %.2fs\n",
-              model.task_generation_seconds(), model.meta_training_seconds());
+              model->task_generation_seconds(), model->meta_training_seconds());
 
   // --- Online phase: one user's session; the scripted user labels the
   // initial tuples. (A single-user program can equally use the Explorer
@@ -81,14 +81,14 @@ int main() {
   };
   std::vector<std::vector<double>> labels(subspaces.size());
   for (size_t s = 0; s < subspaces.size(); ++s) {
-    for (const auto& tuple : *model.InitialTuples(static_cast<int64_t>(s))) {
+    for (const auto& tuple : *model->InitialTuples(static_cast<int64_t>(s))) {
       labels[s].push_back(user_likes(s, tuple) ? 1.0 : 0.0);
     }
     std::printf("subspace %zu: user labelled %zu initial tuples\n", s,
                 labels[s].size());
   }
 
-  lte::core::ExplorationSession session(&model);
+  lte::core::ExplorationSession session(model);
   status = session.StartExploration(labels, lte::core::Variant::kMetaStar,
                                     &rng);
   if (!status.ok()) {

@@ -41,10 +41,10 @@ std::string HexU64(uint64_t v) {
 
 }  // namespace
 
-ExplorationSession::ExplorationSession(const ExplorationModel* model,
-                                       int64_t num_threads)
-    : model_(model), num_threads_override_(num_threads) {
-  LTE_CHECK(model != nullptr);
+ExplorationSession::ExplorationSession(
+    std::shared_ptr<const ExplorationModel> model, int64_t num_threads)
+    : model_(std::move(model)), num_threads_override_(num_threads) {
+  LTE_CHECK(model_ != nullptr);
 }
 
 int64_t ExplorationSession::num_threads() const {
@@ -109,6 +109,34 @@ Status ExplorationSession::Load(const std::string& path) {
     return Status::InvalidArgument(path + ": " + st.message());
   }
   return st;
+}
+
+Status ExplorationSession::PeekCheckpointFingerprint(const std::string& path,
+                                                     uint64_t* fingerprint) {
+  if (fingerprint == nullptr) {
+    return Status::InvalidArgument(
+        "session peek: fingerprint must not be null");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  BinaryReader r(&in);
+  uint64_t magic = 0;
+  uint64_t version = 0;
+  uint64_t stamped = 0;
+  LTE_RETURN_IF_ERROR(r.ReadU64(&magic));
+  if (magic != kSessionMagic) {
+    return Status::InvalidArgument(path + ": not an LTE session file");
+  }
+  LTE_RETURN_IF_ERROR(r.ReadU64(&version));
+  if (version != kSessionVersion) {
+    return Status::InvalidArgument(path + ": unsupported LTE session version " +
+                                   std::to_string(version));
+  }
+  LTE_RETURN_IF_ERROR(r.ReadU64(&stamped));
+  *fingerprint = stamped;
+  return Status::OK();
 }
 
 Status ExplorationSession::LoadFromStream(std::istream* in) {
@@ -486,7 +514,7 @@ void ExplorationSession::PredictBlockColumnar(const data::Table& table,
   for (int64_t s = 0; s < active_count_ && !scratch->survivors.empty(); ++s) {
     const std::vector<int64_t>& attrs = model_->subspace(s)->attribute_indices;
     scratch->columns.clear();
-    for (int64_t a : attrs) scratch->columns.push_back(table.ColumnValues(a));
+    for (int64_t a : attrs) scratch->columns.push_back(table.View(a));
     // Gather + encode only the rows every earlier subspace accepted, one
     // subspace at a time over the whole block.
     const auto count = static_cast<int64_t>(scratch->survivors.size());
@@ -518,7 +546,7 @@ void ExplorationSession::PredictBlockColumnar(const data::Table& table,
 
 void ExplorationSession::ScoreEncodedBlock(
     int64_t s, std::span<const double> encoded, std::span<const int64_t> rows,
-    const std::vector<std::span<const double>>& columns,
+    const std::vector<data::ColumnView>& columns,
     TaskModel::BatchScratch* batch_scratch, std::vector<double>* point_scratch,
     std::span<double> out) const {
   LTE_CHECK(s >= 0 && s < active_count_);
@@ -532,8 +560,8 @@ void ExplorationSession::ScoreEncodedBlock(
     double pred = out[static_cast<size_t>(i)] > 0.5 ? 1.0 : 0.0;
     if (state.fpfn.has_value()) {
       point_scratch->clear();
-      const auto r = static_cast<size_t>(rows[static_cast<size_t>(i)]);
-      for (const std::span<const double>& col : columns) {
+      const int64_t r = rows[static_cast<size_t>(i)];
+      for (const data::ColumnView& col : columns) {
         point_scratch->push_back(col[r]);
       }
       pred = state.fpfn->Refine(*point_scratch, pred);

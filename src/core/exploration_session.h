@@ -57,10 +57,11 @@ enum class ScanPath {
 /// clustering contexts or meta-learners — so a serving process holds one
 /// model and hands each concurrent user their own session:
 ///
-///   ExplorationModel model(options);
-///   model.Pretrain(table, subspaces, /*train_meta=*/true, &rng);
+///   auto model = std::make_shared<ExplorationModel>(options);
+///   Rng rng(seed);
+///   model->Pretrain(table, subspaces, /*train_meta=*/true, &rng);
 ///   // Per user, possibly on its own thread:
-///   ExplorationSession session(&model);
+///   ExplorationSession session(model);
 ///   session.StartExploration(user_labels, Variant::kMetaStar, &user_rng);
 ///   session.RetrieveMatches(table, /*limit=*/-1, &matches);
 ///
@@ -74,8 +75,12 @@ enum class ScanPath {
 /// of co-resident sessions — a session computes exactly what a standalone
 /// run with the same seeds computes.
 ///
-/// The model must outlive the session and must not be mutated (Pretrain/
-/// Load) while any session is attached.
+/// The session shares ownership of its model (an epoch snapshot handle, in
+/// registry terms — see serving/model_registry.h), so the model can never
+/// die under a live session: when a background refresh publishes a new
+/// epoch, sessions pinned to the old one finish on it RCU-style and the old
+/// model is reclaimed when the last handle drops. The model must not be
+/// mutated (Pretrain/Load) while any session is attached.
 ///
 /// Misuse-error contract (same as the `Explorer` facade): the query surface
 /// never aborts on out-of-range or premature calls. Predictions return
@@ -84,18 +89,26 @@ enum class ScanPath {
 /// violations, not through caller mistakes.
 class ExplorationSession {
  public:
-  /// Attaches to `model` (not owned; may be shared with other sessions).
-  /// `num_threads` overrides the model's `options().num_threads` for this
-  /// session's fan-outs when >= 0; the default -1 inherits the model's knob.
-  /// Multi-user hosts typically run each session with num_threads = 1 and
-  /// let the sessions themselves be the parallelism.
-  explicit ExplorationSession(const ExplorationModel* model,
+  /// Attaches to `model` (shared with any number of other sessions; must be
+  /// non-null). The session co-owns the model, pinning the snapshot it was
+  /// created against for its whole lifetime. `num_threads` overrides the
+  /// model's `options().num_threads` for this session's fan-outs when >= 0;
+  /// the default -1 inherits the model's knob. Multi-user hosts typically
+  /// run each session with num_threads = 1 and let the sessions themselves
+  /// be the parallelism.
+  explicit ExplorationSession(std::shared_ptr<const ExplorationModel> model,
                               int64_t num_threads = -1);
 
   ExplorationSession(const ExplorationSession&) = delete;
   ExplorationSession& operator=(const ExplorationSession&) = delete;
 
   const ExplorationModel& model() const { return *model_; }
+
+  /// The pinned snapshot handle, e.g. for attaching further sessions to
+  /// exactly this session's model epoch.
+  const std::shared_ptr<const ExplorationModel>& model_handle() const {
+    return model_;
+  }
 
   /// Pool lanes used by this session's fan-outs (adaptation and scans),
   /// after resolving the -1 inherit sentinel against the model's options.
@@ -225,6 +238,14 @@ class ExplorationSession {
   /// Stream counterpart of Load (same format, no file handling).
   Status LoadFromStream(std::istream* in);
 
+  /// Reads only the header of a session checkpoint file and stores the model
+  /// fingerprint it was stamped with — the cheap "would Load even be
+  /// possible?" probe checkpoint GC sweeps route on. Fails (leaving
+  /// `*fingerprint` untouched) when the file is missing, truncated, or not a
+  /// session checkpoint.
+  static Status PeekCheckpointFingerprint(const std::string& path,
+                                          uint64_t* fingerprint);
+
   /// FailedPrecondition before StartExploration; InvalidArgument when
   /// `table` is narrower than an active subspace's attribute indices. The
   /// scan entry points call this internally; the coalesced serving front-end
@@ -250,7 +271,7 @@ class ExplorationSession {
   /// Thread-safe under the same contract as the const query surface.
   void ScoreEncodedBlock(int64_t s, std::span<const double> encoded,
                          std::span<const int64_t> rows,
-                         const std::vector<std::span<const double>>& columns,
+                         const std::vector<data::ColumnView>& columns,
                          TaskModel::BatchScratch* batch_scratch,
                          std::vector<double>* point_scratch,
                          std::span<double> out) const;
@@ -300,7 +321,7 @@ class ExplorationSession {
     std::vector<int64_t> survivors;  // Block positions still positive.
     std::vector<int64_t> next;       // Survivors after the current subspace.
     std::vector<int64_t> gather;     // Table row ids of the survivors.
-    std::vector<std::span<const double>> columns;  // Active subspace's views.
+    std::vector<data::ColumnView> columns;  // Active subspace's views.
     std::vector<double> encoded;     // Survivors x width scratch matrix.
     std::vector<double> probs;       // One probability per survivor.
     std::vector<double> point;       // Raw point for the FP/FN refiner.
@@ -333,7 +354,7 @@ class ExplorationSession {
   double PredictRowInTable(const data::Table& table, int64_t r,
                            Scratch* scratch) const;
 
-  const ExplorationModel* model_;
+  std::shared_ptr<const ExplorationModel> model_;
   int64_t num_threads_override_;
   std::vector<SubspaceSession> states_;
   int64_t active_count_ = 0;

@@ -2,6 +2,7 @@
 #define LTE_CORE_EXPLORER_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -30,10 +31,11 @@ namespace lte::core {
 ///   ex.StartExploration(labels, Variant::kMetaStar, &rng);
 ///   bool interesting = ex.PredictRow(row).value_or(0.0) > 0.5;
 ///
-/// Multi-user serving skips the facade: build (or `model().Load`) one
+/// Multi-user serving skips the facade: build one shared
 /// `ExplorationModel` and attach one `ExplorationSession` per concurrent
-/// user — or attach extra sessions to `ex.model()` alongside the facade's
-/// own. See exploration_session.h for the per-class thread-safety contract.
+/// user — or attach extra sessions to `ex.model_handle()` alongside the
+/// facade's own. See exploration_session.h for the per-class thread-safety
+/// contract and serving/model_registry.h for epoch-versioned hosting.
 ///
 /// Misuse-error contract: the query surface never aborts on out-of-range or
 /// premature calls. Accessors taking a subspace index return nullptr,
@@ -43,16 +45,23 @@ namespace lte::core {
 class Explorer {
  public:
   explicit Explorer(ExplorerOptions options)
-      : model_(options), session_(&model_) {}
+      : model_(std::make_shared<ExplorationModel>(options)),
+        session_(model_) {}
 
-  // The default session holds a pointer to the model member, so the facade
-  // is pinned to its address.
+  // The facade's single-user semantics (Pretrain/LoadModel mutate the model
+  // in place) do not compose with copies sharing one model.
   Explorer(const Explorer&) = delete;
   Explorer& operator=(const Explorer&) = delete;
 
-  /// The shared offline artifacts. Attach additional ExplorationSessions to
-  /// this model to serve more users against the facade's training.
-  const ExplorationModel& model() const { return model_; }
+  /// The shared offline artifacts.
+  const ExplorationModel& model() const { return *model_; }
+
+  /// Snapshot handle on the facade's model: attach additional
+  /// ExplorationSessions to it to serve more users against the facade's
+  /// training. The handle pins the model alive independently of the facade.
+  std::shared_ptr<const ExplorationModel> model_handle() const {
+    return model_;
+  }
 
   /// The facade's own online session.
   const ExplorationSession& session() const { return session_; }
@@ -67,15 +76,15 @@ class Explorer {
                   const std::vector<data::Subspace>& subspaces,
                   bool train_meta, Rng* rng) {
     session_.Reset();
-    return model_.Pretrain(table, subspaces, train_meta, rng);
+    return model_->Pretrain(table, subspaces, train_meta, rng);
   }
 
-  int64_t num_subspaces() const { return model_.num_subspaces(); }
+  int64_t num_subspaces() const { return model_->num_subspaces(); }
 
   /// The `s`-th meta-subspace, or nullptr when `s` is out of
   /// [0, num_subspaces()).
   const data::Subspace* subspace(int64_t s) const {
-    return model_.subspace(s);
+    return model_->subspace(s);
   }
 
   /// The tuples of subspace `s` the user labels during initial exploration:
@@ -83,7 +92,7 @@ class Explorer {
   /// subspace coordinates. Fixed after Pretrain. Returns nullptr before
   /// Pretrain or when `s` is out of range.
   const std::vector<std::vector<double>>* InitialTuples(int64_t s) const {
-    return model_.InitialTuples(s);
+    return model_->InitialTuples(s);
   }
 
   /// Online phase: `labels_per_subspace[s][i]` is the 0/1 label of
@@ -179,22 +188,22 @@ class Explorer {
   /// Per-subspace generator (exposes the clustering context), or nullptr
   /// before Pretrain or when `s` is out of range.
   const MetaTaskGenerator* generator(int64_t s) const {
-    return model_.generator(s);
+    return model_->generator(s);
   }
   const preprocess::TabularEncoder& encoder() const {
-    return model_.encoder();
+    return model_->encoder();
   }
-  const ExplorerOptions& options() const { return model_.options(); }
-  bool meta_trained() const { return model_.meta_trained(); }
+  const ExplorerOptions& options() const { return model_->options(); }
+  bool meta_trained() const { return model_->meta_trained(); }
 
   /// Pre-training statistics (for the Figure 8(b) cost analysis). Summed
   /// over subspaces, i.e. total work; with num_threads > 1 the subspaces
   /// overlap in time, so wall clock is lower than these totals.
   double task_generation_seconds() const {
-    return model_.task_generation_seconds();
+    return model_->task_generation_seconds();
   }
   double meta_training_seconds() const {
-    return model_.meta_training_seconds();
+    return model_->meta_training_seconds();
   }
 
   /// Model persistence: writes the full pre-trained state (options, tabular
@@ -203,7 +212,7 @@ class Explorer {
   /// live in separate processes. Requires Pretrain to have run. The format
   /// is `ExplorationModel`'s — files round-trip freely between the facade
   /// and a bare model.
-  Status Save(const std::string& path) const { return model_.Save(path); }
+  Status Save(const std::string& path) const { return model_->Save(path); }
 
   /// Restores a pre-trained model saved by Save (or by
   /// `ExplorationModel::Save`), replacing this instance's state. Online
@@ -214,7 +223,7 @@ class Explorer {
   /// state.
   Status LoadModel(const std::string& path) {
     session_.Reset();
-    return model_.Load(path);
+    return model_->Load(path);
   }
 
   /// Session persistence for the facade's own session: writes this user's
@@ -230,7 +239,7 @@ class Explorer {
   Status LoadSession(const std::string& path) { return session_.Load(path); }
 
  private:
-  ExplorationModel model_;
+  std::shared_ptr<ExplorationModel> model_;
   ExplorationSession session_;
 };
 

@@ -1,0 +1,71 @@
+#ifndef LTE_DATA_COLUMN_VIEW_H_
+#define LTE_DATA_COLUMN_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lte::data {
+
+/// One sealed segment's contribution to a column: the values of global rows
+/// [start, end), stored contiguously and indexed by `row - start`.
+struct ColumnSlice {
+  int64_t start = 0;
+  int64_t end = 0;
+  const double* data = nullptr;
+};
+
+/// Read-only view of one column across every segment of a (possibly live)
+/// `Table`: the base segment as a contiguous span plus zero or more sealed
+/// append slices, all addressed by global row id.
+///
+/// A view is a snapshot: it captures the table's segment directory at
+/// creation time (shared ownership keeps the sealed data alive), so reads
+/// through it are safe and stable even while the table keeps appending —
+/// rows visible at snapshot time never move and never change value. The
+/// serving scan paths gather attribute data through views instead of raw
+/// spans so block iteration crosses segment boundaries transparently.
+///
+/// `operator[]` is the hot-path accessor: the base segment resolves with one
+/// compare, appended rows walk the (few, ordered) slices. Out-of-range rows
+/// are a programmer error (LTE_CHECK), matching `Table`'s accessor contract.
+class ColumnView {
+ public:
+  ColumnView() = default;
+  ColumnView(std::span<const double> base, std::span<const ColumnSlice> tail,
+             std::shared_ptr<const void> owner)
+      : base_(base), tail_(tail), owner_(std::move(owner)) {}
+
+  double operator[](int64_t row) const {
+    if (row >= 0 && row < static_cast<int64_t>(base_.size())) {
+      return base_[static_cast<size_t>(row)];
+    }
+    for (const ColumnSlice& s : tail_) {
+      if (row < s.end) {
+        LTE_CHECK_GE(row, s.start);
+        return s.data[row - s.start];
+      }
+    }
+    LTE_CHECK_MSG(false, "ColumnView: row out of range");
+    return 0.0;  // Unreachable.
+  }
+
+  /// Rows addressable through this view (base + sealed slices at snapshot
+  /// time).
+  int64_t size() const {
+    return tail_.empty() ? static_cast<int64_t>(base_.size())
+                         : tail_.back().end;
+  }
+
+ private:
+  std::span<const double> base_;
+  std::span<const ColumnSlice> tail_;
+  std::shared_ptr<const void> owner_;  // Keeps the snapshot's segments alive.
+};
+
+}  // namespace lte::data
+
+#endif  // LTE_DATA_COLUMN_VIEW_H_

@@ -77,7 +77,7 @@ Status ExperimentRunner::EnsureModel(int64_t budget, bool train_meta) {
   }
   core::ExplorerOptions opt = options_.explorer;
   opt.task_gen.k_s = k_s;
-  auto model = std::make_unique<core::ExplorationModel>(opt);
+  auto model = std::make_shared<core::ExplorationModel>(opt);
   LTE_RETURN_IF_ERROR(
       model->Pretrain(normalized_table_, subspaces_, train_meta, &rng_));
   models_[budget] = CachedModel{std::move(model), train_meta};
@@ -136,7 +136,7 @@ Status ExperimentRunner::RunLte(core::Variant variant,
 
   // Each run is one simulated user: a fresh session against the cached
   // (shared, immutable) model.
-  core::ExplorationSession session(&model);
+  core::ExplorationSession session(models_.at(budget).model);
   Stopwatch sw;
   LTE_RETURN_IF_ERROR(session.StartExploration(labels, variant, &rng_));
   result->online_seconds = sw.ElapsedSeconds();

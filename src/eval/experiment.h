@@ -144,7 +144,7 @@ class ExperimentRunner {
   std::vector<int64_t> pool_rows_;
 
   struct CachedModel {
-    std::unique_ptr<core::ExplorationModel> model;
+    std::shared_ptr<core::ExplorationModel> model;
     bool meta = false;
   };
   std::map<int64_t, CachedModel> models_;  // Keyed by budget.

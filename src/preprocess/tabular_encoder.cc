@@ -214,7 +214,7 @@ void TabularEncoder::EncodeProjectedInto(const std::vector<double>& values,
 }
 
 void TabularEncoder::EncodeGatheredInto(
-    const std::vector<std::span<const double>>& columns,
+    const std::vector<data::ColumnView>& columns,
     const std::vector<int64_t>& attrs, std::span<const int64_t> rows,
     std::vector<double>* out) const {
   LTE_CHECK_EQ(columns.size(), attrs.size());
@@ -227,7 +227,7 @@ void TabularEncoder::EncodeGatheredInto(
   // materialized row.
   for (const int64_t r : rows) {
     for (size_t j = 0; j < attrs.size(); ++j) {
-      EncodeValue(attrs[j], columns[j][static_cast<size_t>(r)], out);
+      EncodeValue(attrs[j], columns[j][r], out);
     }
   }
   LTE_CHECK_EQ(out->size(), rows.size() * width);

@@ -97,15 +97,16 @@ class TabularEncoder {
                            std::vector<double>* out) const;
 
   /// Columnar block encode for the serving fast path: `columns[j]` is the
-  /// contiguous value view of attribute `attrs[j]` over the whole table
-  /// (`Table::ColumnValues`), and `rows` selects the tuples to encode.
-  /// Writes the encodings row-major into the reusable scratch matrix `*out`
-  /// (resized to `rows.size() x ProjectedWidth(attrs)`; capacity is retained
-  /// across calls, so a reused buffer reaches a steady state with zero
-  /// allocations per block). Row k of `*out` is bit-identical to
-  /// EncodeProjectedInto of the k-th selected tuple — the encode visits
-  /// attributes in the same order with the same per-value models.
-  void EncodeGatheredInto(const std::vector<std::span<const double>>& columns,
+  /// segment-spanning value view of attribute `attrs[j]` over the whole
+  /// table (`Table::View`), and `rows` selects the tuples to encode by
+  /// global row id. Writes the encodings row-major into the reusable scratch
+  /// matrix `*out` (resized to `rows.size() x ProjectedWidth(attrs)`;
+  /// capacity is retained across calls, so a reused buffer reaches a steady
+  /// state with zero allocations per block). Row k of `*out` is
+  /// bit-identical to EncodeProjectedInto of the k-th selected tuple — the
+  /// encode visits attributes in the same order with the same per-value
+  /// models.
+  void EncodeGatheredInto(const std::vector<data::ColumnView>& columns,
                           const std::vector<int64_t>& attrs,
                           std::span<const int64_t> rows,
                           std::vector<double>* out) const;

@@ -17,10 +17,10 @@ using core::kServingBlockRows;
 }  // namespace
 
 CoalescedScanScheduler::CoalescedScanScheduler(
-    const core::ExplorationModel* model, const data::Table* table,
-    CoalescedScanOptions options)
-    : model_(model), table_(table), options_(options) {
-  LTE_CHECK(model != nullptr);
+    std::shared_ptr<const core::ExplorationModel> model,
+    const data::Table* table, CoalescedScanOptions options)
+    : model_(std::move(model)), table_(table), options_(options) {
+  LTE_CHECK(model_ != nullptr);
   LTE_CHECK(table != nullptr);
   options_.max_batch_requests = std::max<int64_t>(options_.max_batch_requests, 1);
   options_.max_pending_requests = std::max<int64_t>(
@@ -56,7 +56,7 @@ CoalescedScanStats CoalescedScanScheduler::stats() const {
 
 Status CoalescedScanScheduler::ValidateSubmission(
     const core::ExplorationSession& session) const {
-  if (&session.model() != model_) {
+  if (&session.model() != model_.get()) {
     return Status::InvalidArgument(
         "scheduler: session is bound to a different model");
   }
@@ -323,7 +323,7 @@ void CoalescedScanScheduler::ProcessBlock(
   std::vector<int64_t> index_in_needed(static_cast<size_t>(n));
   std::vector<int64_t> gather_rows;
   std::vector<int64_t> sub_rows;
-  std::vector<std::span<const double>> columns;
+  std::vector<data::ColumnView> columns;
   std::vector<double> encoded;
   std::vector<double> sub_encoded;
   std::vector<double> preds;
@@ -353,7 +353,7 @@ void CoalescedScanScheduler::ProcessBlock(
     const std::vector<int64_t>& attrs =
         model_->subspace(s)->attribute_indices;
     columns.clear();
-    for (const int64_t a : attrs) columns.push_back(table_->ColumnValues(a));
+    for (const int64_t a : attrs) columns.push_back(table_->View(a));
     model_->encoder().EncodeGatheredInto(columns, attrs, gather_rows,
                                          &encoded);
     encode_passes->fetch_add(1, std::memory_order_relaxed);

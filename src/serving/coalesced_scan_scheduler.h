@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -73,7 +74,7 @@ struct CoalescedScanStats {
 /// per-user work shrinks to the adapted-weights matmul plus the Meta* FP/FN
 /// refinement.
 ///
-///   CoalescedScanScheduler scheduler(&model, &table);
+///   CoalescedScanScheduler scheduler(model, &table);
 ///   // Per user, on the user's own thread:
 ///   std::vector<int64_t> matches;
 ///   Status s = scheduler.RetrieveMatches(session, /*limit=*/100, &matches);
@@ -95,9 +96,13 @@ struct CoalescedScanStats {
 /// submission calls — join the submitting threads first.
 class CoalescedScanScheduler {
  public:
-  /// Serves scans of `table` for sessions bound to `model` (neither owned;
-  /// both must outlive the scheduler and stay unchanged while it serves).
-  CoalescedScanScheduler(const core::ExplorationModel* model,
+  /// Serves scans of `table` for sessions bound to exactly this `model`
+  /// snapshot (the scheduler co-owns and pins it, like a session does; after
+  /// a registry refresh, host a second scheduler for the new epoch and
+  /// retire this one when its sessions drain). `table` is not owned and must
+  /// outlive the scheduler; it may keep appending live — a pass scans the
+  /// row domain its requests name, and views span segments transparently.
+  CoalescedScanScheduler(std::shared_ptr<const core::ExplorationModel> model,
                          const data::Table* table,
                          CoalescedScanOptions options = {});
   ~CoalescedScanScheduler();
@@ -172,7 +177,7 @@ class CoalescedScanScheduler {
                     std::span<const int64_t> union_rows, int64_t block,
                     std::atomic<int64_t>* encode_passes) const;
 
-  const core::ExplorationModel* model_;
+  std::shared_ptr<const core::ExplorationModel> model_;
   const data::Table* table_;
   CoalescedScanOptions options_;
 

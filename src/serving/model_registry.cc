@@ -1,0 +1,41 @@
+#include "serving/model_registry.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace lte::serving {
+
+ModelRegistry::ModelRegistry(
+    std::shared_ptr<const core::ExplorationModel> initial) {
+  LTE_CHECK(initial != nullptr);
+  LTE_CHECK_MSG(initial->pretrained(),
+                "ModelRegistry requires a pretrained model");
+  current_.fingerprint = initial->fingerprint();
+  current_.model = std::move(initial);
+  current_.epoch = 1;
+}
+
+ModelSnapshot ModelRegistry::Current() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t ModelRegistry::current_epoch() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return current_.epoch;
+}
+
+uint64_t ModelRegistry::Publish(
+    std::shared_ptr<const core::ExplorationModel> model) {
+  LTE_CHECK(model != nullptr);
+  LTE_CHECK_MSG(model->pretrained(),
+                "ModelRegistry::Publish requires a pretrained model");
+  const std::lock_guard<std::mutex> lock(mu_);
+  current_.fingerprint = model->fingerprint();
+  current_.model = std::move(model);
+  ++current_.epoch;
+  return current_.epoch;
+}
+
+}  // namespace lte::serving

@@ -1,0 +1,72 @@
+#ifndef LTE_SERVING_MODEL_REGISTRY_H_
+#define LTE_SERVING_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/exploration_model.h"
+
+namespace lte::serving {
+
+/// One published model epoch: the snapshot handle plus the metadata a
+/// serving host routes on. Copies are cheap (one shared_ptr) and pin the
+/// model alive for as long as any copy exists.
+struct ModelSnapshot {
+  std::shared_ptr<const core::ExplorationModel> model;
+  /// Monotone publish counter, starting at 1 for the registry's initial
+  /// model. Two snapshots with equal epoch are the same publish.
+  uint64_t epoch = 0;
+  /// The model's content fingerprint (`ExplorationModel::fingerprint()`),
+  /// denormalized here so routing/GC decisions — e.g. "is this checkpoint
+  /// stale?" — need no model dereference.
+  uint64_t fingerprint = 0;
+};
+
+/// Epoch-versioned model publication point: the single place a serving
+/// process swaps its `ExplorationModel` (DESIGN.md §2e).
+///
+/// The registry vends immutable `{handle, epoch, fingerprint}` snapshots.
+/// Attachment points (sessions, the session manager, the coalesced
+/// scheduler) take a snapshot at bind time and keep serving it RCU-style:
+/// a concurrent `Publish` never tears a model out from under a reader,
+/// because readers hold shared ownership of the epoch they pinned — the
+/// old model is reclaimed only when the last handle drops. `Publish` is the
+/// atomic epoch bump the background refresh path commits through; sessions
+/// created after it see the new epoch, sessions created before it finish on
+/// theirs, and stale *checkpoints* meeting the new epoch surface as
+/// FailedPrecondition through the session fingerprint stamp (PR 7), never
+/// as a crash.
+///
+/// Thread-safety: all methods may be called concurrently from any threads.
+class ModelRegistry {
+ public:
+  /// Starts at epoch 1 with `initial` as the current model. The model must
+  /// be non-null and pretrained (programmer configuration, so violations
+  /// abort rather than return).
+  explicit ModelRegistry(
+      std::shared_ptr<const core::ExplorationModel> initial);
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// The currently published snapshot. The returned copy stays valid (and
+  /// keeps its model alive) regardless of later publishes.
+  ModelSnapshot Current() const;
+
+  /// Epoch of the currently published snapshot.
+  uint64_t current_epoch() const;
+
+  /// Atomically replaces the current model, bumping the epoch by one, and
+  /// returns the new epoch. The model must be non-null and pretrained.
+  /// Sessions pinned to earlier epochs are unaffected.
+  uint64_t Publish(std::shared_ptr<const core::ExplorationModel> model);
+
+ private:
+  mutable std::mutex mu_;
+  ModelSnapshot current_;  // Guarded by mu_.
+};
+
+}  // namespace lte::serving
+
+#endif  // LTE_SERVING_MODEL_REGISTRY_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <string_view>
 #include <system_error>
 
 #include "common/check.h"
@@ -47,10 +48,10 @@ void SessionManager::Lease::Release() {
   entry_ = nullptr;
 }
 
-SessionManager::SessionManager(const core::ExplorationModel* model,
+SessionManager::SessionManager(ModelRegistry* registry,
                                SessionManagerOptions options)
-    : model_(model), options_(std::move(options)) {
-  LTE_CHECK(model != nullptr);
+    : registry_(registry), options_(std::move(options)) {
+  LTE_CHECK(registry != nullptr);
   LTE_CHECK_GE(options_.max_resident, 1);
   LTE_CHECK_MSG(!options_.checkpoint_dir.empty(),
                 "SessionManagerOptions::checkpoint_dir is required");
@@ -58,6 +59,17 @@ SessionManager::SessionManager(const core::ExplorationModel* model,
   // the first checkpoint write instead of aborting construction.
   std::error_code ec;
   std::filesystem::create_directories(options_.checkpoint_dir, ec);
+  // Adopt the directory: a crash between a checkpoint's tmp write and its
+  // rename leaves an orphan `.tmp` that nothing would ever reclaim (the
+  // rename is what commits, so its content is dead by construction).
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.checkpoint_dir, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().filename().string().ends_with(".ltesession.tmp")) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
 }
 
 std::string SessionManager::CheckpointPath(const std::string& user_id) const {
@@ -137,8 +149,12 @@ Status SessionManager::Acquire(const std::string& user_id, Lease* lease) {
     // Make room for the incoming session first, so residency only
     // overshoots max_resident when everything else is pinned.
     TrimLocked(options_.max_resident - 1);
+    // Bind to the registry's current epoch; the session pins that snapshot
+    // for its resident lifetime. A checkpoint written under an older epoch
+    // fails the fingerprint check inside Load below — the well-defined
+    // stale-session Status, surfaced on the acquiring thread.
     auto session = std::make_unique<core::ExplorationSession>(
-        model_, options_.session_num_threads);
+        registry_->Current().model, options_.session_num_threads);
     if (entry.on_disk) {
       const Status st = session->Load(CheckpointPath(user_id));
       if (!st.ok()) {
@@ -169,6 +185,72 @@ void SessionManager::ReleaseEntry(Entry* entry) {
   --entry->pins;
   // A release may have just made an over-capacity session evictable.
   TrimLocked(options_.max_resident);
+}
+
+Status SessionManager::RemoveUser(const std::string& user_id) {
+  if (!ValidUserId(user_id)) {
+    return Status::InvalidArgument("session manager: invalid user id \"" +
+                                   user_id + "\"");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(user_id);
+  if (it != entries_.end()) {
+    if (it->second.pins > 0) {
+      return Status::FailedPrecondition("session manager: user \"" + user_id +
+                                        "\" is leased");
+    }
+    if (it->second.session != nullptr) --resident_;
+    entries_.erase(it);
+  }
+  const std::string path = CheckpointPath(user_id);
+  std::error_code ec;
+  std::filesystem::remove(path + ".tmp", ec);  // Best effort; dead weight.
+  ec.clear();
+  std::filesystem::remove(path, ec);
+  if (ec) {
+    return Status::IoError("session manager: cannot remove " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Status SessionManager::SweepStaleCheckpoints(int64_t* removed) {
+  if (removed != nullptr) *removed = 0;
+  const uint64_t current = registry_->Current().fingerprint;
+  const std::lock_guard<std::mutex> lock(mu_);
+  Status first_error = Status::OK();
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.checkpoint_dir, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view kSuffix = ".ltesession";
+    if (!name.ends_with(kSuffix)) continue;
+    uint64_t stamped = 0;
+    if (!core::ExplorationSession::PeekCheckpointFingerprint(
+             entry.path().string(), &stamped)
+             .ok()) {
+      continue;  // Not a readable checkpoint; never delete what we can't read.
+    }
+    if (stamped == current) continue;
+    std::error_code remove_ec;
+    if (!std::filesystem::remove(entry.path(), remove_ec) || remove_ec) {
+      if (first_error.ok()) {
+        first_error =
+            Status::IoError("session manager: cannot remove " +
+                            entry.path().string() + ": " + remove_ec.message());
+      }
+      continue;
+    }
+    if (removed != nullptr) ++*removed;
+    // A resident user whose checkpoint was just purged is simply no longer
+    // on disk; its next eviction writes a fresh (current-state) checkpoint.
+    const auto user_it =
+        entries_.find(name.substr(0, name.size() - kSuffix.size()));
+    if (user_it != entries_.end()) user_it->second.on_disk = false;
+  }
+  return first_error;
 }
 
 Status SessionManager::CheckpointAll() {

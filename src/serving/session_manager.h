@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "core/exploration_model.h"
 #include "core/exploration_session.h"
+#include "serving/model_registry.h"
 
 namespace lte::serving {
 
@@ -61,12 +62,23 @@ struct SessionManagerStats {
 /// the user's state). When capacity is exceeded, the least-recently-used
 /// unpinned session is checkpointed to disk and dropped.
 ///
-///   SessionManager manager(&model, {.max_resident = 256,
-///                                   .checkpoint_dir = "/var/lte/sessions"});
+///   ModelRegistry registry(model);
+///   SessionManager manager(&registry,
+///                          {.max_resident = 256,
+///                           .checkpoint_dir = "/var/lte/sessions"});
 ///   SessionManager::Lease lease;
 ///   LTE_RETURN_IF_ERROR(manager.Acquire(user_id, &lease));
 ///   lease.session()->RetrieveMatches(table, 100, &matches);
 ///   // lease destructor unpins; the session becomes evictable again.
+///
+/// Model epochs: every session the manager creates or restores binds to the
+/// registry's *current* snapshot at that moment and pins it for the
+/// session's resident lifetime (RCU-style — a background `Publish` never
+/// tears a model out from under a resident session). After a refresh,
+/// restoring a checkpoint written under the old epoch returns
+/// FailedPrecondition from the fingerprint stamp; the caller decides
+/// whether to `RemoveUser` and start that user fresh, and
+/// `SweepStaleCheckpoints` batch-GCs such checkpoints.
 ///
 /// Durability: checkpoints are written to `<path>.tmp` and renamed into
 /// place, so a crash mid-evict leaves the previous checkpoint intact — a
@@ -132,12 +144,14 @@ class SessionManager {
     Entry* entry_ = nullptr;
   };
 
-  /// Serves sessions bound to `model` (not owned; must outlive the manager
-  /// and stay unchanged — the usual immutable-model contract). Requires
-  /// `options.max_resident >= 1` and a non-empty checkpoint_dir (programmer
-  /// configuration, so violations abort rather than return).
-  SessionManager(const core::ExplorationModel* model,
-                 SessionManagerOptions options);
+  /// Serves sessions bound to `registry`'s published epochs (`registry` not
+  /// owned; must outlive the manager). Construction also unlinks any orphan
+  /// `<user>.ltesession.tmp` files in the checkpoint directory — a crash
+  /// between a checkpoint's tmp write and its rename leaves one behind, and
+  /// it is dead weight by construction (the rename is what commits).
+  /// Requires `options.max_resident >= 1` and a non-empty checkpoint_dir
+  /// (programmer configuration, so violations abort rather than return).
+  SessionManager(ModelRegistry* registry, SessionManagerOptions options);
 
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
@@ -158,13 +172,32 @@ class SessionManager {
   /// every session; returns the first write error.
   Status CheckpointAll();
 
+  /// Checkpoint GC for a departed user: drops the resident entry (if any)
+  /// and unlinks the on-disk checkpoint and any stray `.tmp`. Fails with
+  /// FailedPrecondition while the user's session is leased, with
+  /// InvalidArgument on a malformed user id, and with IoError when an
+  /// existing checkpoint cannot be removed; removing an unknown or
+  /// checkpoint-less user succeeds as a no-op.
+  Status RemoveUser(const std::string& user_id);
+
+  /// Purges every checkpoint in the directory whose stamped model
+  /// fingerprint differs from the registry's *current* one — the batch GC
+  /// to run after a model refresh, when old-epoch checkpoints can never
+  /// load again. Resident sessions are untouched (a resident entry whose
+  /// checkpoint is purged is simply marked not-on-disk; its next eviction
+  /// writes a fresh checkpoint). Files that are not readable session
+  /// checkpoints are skipped, not deleted. Stores the number of purged
+  /// checkpoints in `*removed` when non-null; returns the first unlink
+  /// error, purging the rest regardless.
+  Status SweepStaleCheckpoints(int64_t* removed);
+
   /// Sessions currently resident in RAM.
   int64_t resident_count() const;
 
   SessionManagerStats stats() const;
 
   const SessionManagerOptions& options() const { return options_; }
-  const core::ExplorationModel& model() const { return *model_; }
+  ModelRegistry* registry() const { return registry_; }
 
   /// `<checkpoint_dir>/<user_id>.ltesession`.
   std::string CheckpointPath(const std::string& user_id) const;
@@ -184,7 +217,7 @@ class SessionManager {
 
   void ReleaseEntry(Entry* entry);
 
-  const core::ExplorationModel* model_;
+  ModelRegistry* registry_;
   SessionManagerOptions options_;
 
   mutable std::mutex mu_;

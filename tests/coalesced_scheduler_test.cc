@@ -56,7 +56,7 @@ class CoalescedScanSchedulerTest : public ::testing::Test {
     table_ = new data::Table(data::MakeBlobs(4000, 4, 5, &rng));
     subspaces_ = new std::vector<data::Subspace>{data::Subspace{{0, 1}},
                                                  data::Subspace{{2, 3}}};
-    model_ = new core::ExplorationModel(SmallExplorerOptions());
+    model_ = std::make_shared<core::ExplorationModel>(SmallExplorerOptions());
     Rng pretrain_rng(23);
     ASSERT_TRUE(model_
                     ->Pretrain(*table_, *subspaces_, /*train_meta=*/true,
@@ -65,8 +65,7 @@ class CoalescedScanSchedulerTest : public ::testing::Test {
   }
 
   static void TearDownTestSuite() {
-    delete model_;
-    model_ = nullptr;
+    model_.reset();
     delete subspaces_;
     subspaces_ = nullptr;
     delete table_;
@@ -132,12 +131,12 @@ class CoalescedScanSchedulerTest : public ::testing::Test {
 
   static data::Table* table_;
   static std::vector<data::Subspace>* subspaces_;
-  static core::ExplorationModel* model_;
+  static std::shared_ptr<core::ExplorationModel> model_;
 };
 
 data::Table* CoalescedScanSchedulerTest::table_ = nullptr;
 std::vector<data::Subspace>* CoalescedScanSchedulerTest::subspaces_ = nullptr;
-core::ExplorationModel* CoalescedScanSchedulerTest::model_ = nullptr;
+std::shared_ptr<core::ExplorationModel> CoalescedScanSchedulerTest::model_;
 
 // The core property: concurrent PredictRows through the scheduler is
 // byte-identical per session to that session scanning independently — for
@@ -354,8 +353,8 @@ TEST_F(CoalescedScanSchedulerTest, SubmissionValidation) {
   EXPECT_FALSE(scheduler.RetrieveMatches(unadapted, 1, &matches).ok());
 
   // Session bound to a different model.
-  core::ExplorationModel other(SmallExplorerOptions());
-  core::ExplorationSession foreign(&other);
+  auto other = std::make_shared<core::ExplorationModel>(SmallExplorerOptions());
+  core::ExplorationSession foreign(other);
   EXPECT_FALSE(scheduler.PredictRows(foreign, {}, &preds).ok());
 
   // Out-of-range row index.

@@ -52,7 +52,7 @@ class ColumnarScanTest : public ::testing::Test {
     // every scan below crosses uneven block boundaries.
     table_ = data::MakeBlobs(4000, 4, 5, &rng);
     subspaces_ = {data::Subspace{{0, 1}}, data::Subspace{{2, 3}}};
-    model_ = std::make_unique<ExplorationModel>(SmallExplorerOptions());
+    model_ = std::make_shared<ExplorationModel>(SmallExplorerOptions());
     Rng pretrain_rng(23);
     ASSERT_TRUE(model_
                     ->Pretrain(table_, subspaces_, /*train_meta=*/true,
@@ -78,11 +78,11 @@ class ColumnarScanTest : public ::testing::Test {
 
   data::Table table_;
   std::vector<data::Subspace> subspaces_;
-  std::unique_ptr<ExplorationModel> model_;
+  std::shared_ptr<ExplorationModel> model_;
 };
 
 TEST_F(ColumnarScanTest, ColumnarIsDefault) {
-  ExplorationSession session(model_.get());
+  ExplorationSession session(model_);
   EXPECT_EQ(session.scan_path(), ScanPath::kColumnar);
   session.set_scan_path(ScanPath::kRowAtATime);
   EXPECT_EQ(session.scan_path(), ScanPath::kRowAtATime);
@@ -113,7 +113,7 @@ TEST_F(ColumnarScanTest, PathsAreByteIdentical) {
       SCOPED_TRACE(testing::Message()
                    << "variant=" << static_cast<int>(variant)
                    << " threads=" << threads);
-      ExplorationSession session(model_.get(), threads);
+      ExplorationSession session(model_, threads);
       Rng rng(99);
       ASSERT_TRUE(session.StartExploration(UserLabels(), variant, &rng).ok());
 
@@ -162,7 +162,7 @@ TEST_F(ColumnarScanTest, PathsAreByteIdentical) {
 // Both scan paths must also agree with the scalar PredictRow API, which
 // shares no batching machinery with either.
 TEST_F(ColumnarScanTest, BlockScanAgreesWithScalarPredictRow) {
-  ExplorationSession session(model_.get(), /*num_threads=*/1);
+  ExplorationSession session(model_, /*num_threads=*/1);
   Rng rng(5);
   ASSERT_TRUE(
       session.StartExploration(UserLabels(), Variant::kMetaStar, &rng).ok());
@@ -180,7 +180,7 @@ TEST_F(ColumnarScanTest, BlockScanAgreesWithScalarPredictRow) {
 // Tiny tables (smaller than one block) and single-row scans go through the
 // same block machinery; they must behave too.
 TEST_F(ColumnarScanTest, SmallAndSingleRowScans) {
-  ExplorationSession session(model_.get());
+  ExplorationSession session(model_);
   Rng rng(11);
   ASSERT_TRUE(
       session.StartExploration(UserLabels(), Variant::kMeta, &rng).ok());

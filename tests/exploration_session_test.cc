@@ -44,7 +44,7 @@ class ExplorationSessionTest : public ::testing::Test {
     Rng rng(23);
     table_ = data::MakeBlobs(4000, 4, 5, &rng);
     subspaces_ = {data::Subspace{{0, 1}}, data::Subspace{{2, 3}}};
-    model_ = std::make_unique<ExplorationModel>(SmallExplorerOptions());
+    model_ = std::make_shared<ExplorationModel>(SmallExplorerOptions());
     Rng pretrain_rng(23);
     ASSERT_TRUE(
         model_->Pretrain(table_, subspaces_, /*train_meta=*/true,
@@ -108,11 +108,11 @@ class ExplorationSessionTest : public ::testing::Test {
 
   data::Table table_;
   std::vector<data::Subspace> subspaces_;
-  std::unique_ptr<ExplorationModel> model_;
+  std::shared_ptr<ExplorationModel> model_;
 };
 
 TEST_F(ExplorationSessionTest, SessionServesModelQueries) {
-  ExplorationSession session(model_.get());
+  ExplorationSession session(model_);
   Rng rng(99);
   ASSERT_TRUE(
       session.StartExploration(UserLabels(0), Variant::kMetaStar, &rng).ok());
@@ -133,7 +133,7 @@ TEST_F(ExplorationSessionTest, ConcurrentSessionsMatchSequentialRuns) {
 
   std::vector<Outcome> sequential(kUsers);
   for (int64_t u = 0; u < kUsers; ++u) {
-    ExplorationSession session(model_.get(), /*num_threads=*/2);
+    ExplorationSession session(model_, /*num_threads=*/2);
     sequential[static_cast<size_t>(u)] = RunUser(&session, u);
   }
 
@@ -143,7 +143,7 @@ TEST_F(ExplorationSessionTest, ConcurrentSessionsMatchSequentialRuns) {
     users.reserve(kUsers);
     for (int64_t u = 0; u < kUsers; ++u) {
       users.emplace_back([&, u] {
-        ExplorationSession session(model_.get(), /*num_threads=*/2);
+        ExplorationSession session(model_, /*num_threads=*/2);
         concurrent[static_cast<size_t>(u)] = RunUser(&session, u);
       });
     }
@@ -178,7 +178,7 @@ TEST_F(ExplorationSessionTest, FacadeMatchesStandaloneSession) {
 
   // model_ was pretrained with the same Rng(23) stream in SetUp, so the
   // initial tuples (and labels) line up.
-  ExplorationSession session(model_.get());
+  ExplorationSession session(model_);
   Rng session_online(7);
   ASSERT_TRUE(
       session.StartExploration(labels, Variant::kMetaStar, &session_online)
@@ -201,8 +201,8 @@ TEST_F(ExplorationSessionTest, FacadeMatchesStandaloneSession) {
 
 TEST_F(ExplorationSessionTest, SessionThreadOverrideIsResultInvariant) {
   // A session's private thread knob changes scheduling, never results.
-  ExplorationSession seq(model_.get(), /*num_threads=*/1);
-  ExplorationSession par(model_.get(), /*num_threads=*/4);
+  ExplorationSession seq(model_, /*num_threads=*/1);
+  ExplorationSession par(model_, /*num_threads=*/4);
   EXPECT_EQ(seq.num_threads(), 1);
   EXPECT_EQ(par.num_threads(), 4);
   const Outcome a = RunUser(&seq, 1);
@@ -211,12 +211,12 @@ TEST_F(ExplorationSessionTest, SessionThreadOverrideIsResultInvariant) {
 }
 
 TEST_F(ExplorationSessionTest, InheritsModelThreadKnobByDefault) {
-  ExplorationSession session(model_.get());
+  ExplorationSession session(model_);
   EXPECT_EQ(session.num_threads(), model_->options().num_threads);
 }
 
 TEST_F(ExplorationSessionTest, MisuseReturnsStatusNotAbort) {
-  ExplorationSession session(model_.get());
+  ExplorationSession session(model_);
   // Query surface before StartExploration.
   EXPECT_FALSE(session.PredictRow(table_.Row(0)).has_value());
   EXPECT_FALSE(session.PredictSubspace(0, {0.5, 0.5}).has_value());
@@ -235,8 +235,8 @@ TEST_F(ExplorationSessionTest, MisuseReturnsStatusNotAbort) {
             StatusCode::kInvalidArgument);
 
   // Untrained model.
-  ExplorationModel cold(SmallExplorerOptions());
-  ExplorationSession cold_session(&cold);
+  auto cold = std::make_shared<ExplorationModel>(SmallExplorerOptions());
+  ExplorationSession cold_session(cold);
   EXPECT_EQ(
       cold_session.StartExploration({{1.0}}, Variant::kBasic, &rng).code(),
       StatusCode::kFailedPrecondition);
@@ -246,7 +246,7 @@ TEST_F(ExplorationSessionTest, ContinueExplorationNullRngIsError) {
   // Regression: a null rng used to reach the local-update path and
   // dereference, aborting the process; it must come back as a misuse error
   // like every other bad argument.
-  ExplorationSession session(model_.get());
+  ExplorationSession session(model_);
   Rng rng(7);
   ASSERT_TRUE(
       session.StartExploration(UserLabels(0), Variant::kMeta, &rng).ok());
@@ -258,7 +258,7 @@ TEST_F(ExplorationSessionTest, ContinueExplorationNullRngIsError) {
 }
 
 TEST_F(ExplorationSessionTest, ResetDropsAdaptedState) {
-  ExplorationSession session(model_.get());
+  ExplorationSession session(model_);
   Rng rng(5);
   ASSERT_TRUE(
       session.StartExploration(UserLabels(0), Variant::kMeta, &rng).ok());

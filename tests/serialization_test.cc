@@ -213,16 +213,16 @@ TEST(SerializationTest, FacadeAndModelFormatsAreInterchangeable) {
   // Facade-written file → bare model.
   const std::string facade_path = testing::TempDir() + "/facade.ltemodel";
   ASSERT_TRUE(facade.Save(facade_path).ok());
-  core::ExplorationModel model(core::ExplorerOptions{});
-  ASSERT_TRUE(model.Load(facade_path).ok());
-  EXPECT_TRUE(model.meta_trained());
-  ASSERT_EQ(model.num_subspaces(), 2);
-  EXPECT_EQ(*model.InitialTuples(0), *facade.InitialTuples(0));
+  auto model = std::make_shared<core::ExplorationModel>(core::ExplorerOptions{});
+  ASSERT_TRUE(model->Load(facade_path).ok());
+  EXPECT_TRUE(model->meta_trained());
+  ASSERT_EQ(model->num_subspaces(), 2);
+  EXPECT_EQ(*model->InitialTuples(0), *facade.InitialTuples(0));
 
   // Model-written file → facade. Saving the just-loaded model must
   // reproduce the original bytes exactly (same format, no lossy fields).
   const std::string model_path = testing::TempDir() + "/model.ltemodel";
-  ASSERT_TRUE(model.Save(model_path).ok());
+  ASSERT_TRUE(model->Save(model_path).ok());
   std::ifstream in_a(facade_path, std::ios::binary);
   std::ifstream in_b(model_path, std::ios::binary);
   const std::string bytes_a((std::istreambuf_iterator<char>(in_a)),
@@ -245,7 +245,7 @@ TEST(SerializationTest, FacadeAndModelFormatsAreInterchangeable) {
   Rng rng_a(99);
   Rng rng_b(99);
   Rng rng_c(99);
-  core::ExplorationSession session(&model);
+  core::ExplorationSession session(model);
   ASSERT_TRUE(
       facade.StartExploration(labels, core::Variant::kMetaStar, &rng_a).ok());
   ASSERT_TRUE(

@@ -25,6 +25,7 @@
 #include "core/exploration_session.h"
 #include "data/synthetic.h"
 #include "serving/coalesced_scan_scheduler.h"
+#include "serving/model_registry.h"
 #include "serving/session_manager.h"
 
 namespace lte::serving {
@@ -73,12 +74,13 @@ class SessionManagerTest : public ::testing::Test {
     Rng rng(23);
     table_ = data::MakeBlobs(2500, 4, 5, &rng);
     subspaces_ = {data::Subspace{{0, 1}}, data::Subspace{{2, 3}}};
-    model_ = std::make_unique<ExplorationModel>(SmallExplorerOptions());
+    model_ = std::make_shared<ExplorationModel>(SmallExplorerOptions());
     Rng pretrain_rng(23);
     ASSERT_TRUE(model_
                     ->Pretrain(table_, subspaces_, /*train_meta=*/true,
                                &pretrain_rng)
                     .ok());
+    registry_ = std::make_unique<ModelRegistry>(model_);
   }
 
   /// A fresh per-test checkpoint directory (cleared from previous runs).
@@ -186,17 +188,18 @@ class SessionManagerTest : public ::testing::Test {
 
   data::Table table_;
   std::vector<data::Subspace> subspaces_;
-  std::unique_ptr<ExplorationModel> model_;
+  std::shared_ptr<ExplorationModel> model_;
+  std::unique_ptr<ModelRegistry> registry_;
 };
 
 // Create, evict to disk, restore: the restored session answers exactly what
 // the standalone (never-evicted) session answers.
 TEST_F(SessionManagerTest, CreateEvictRestoreRoundTrip) {
   const std::string dir = TestDir("a");
-  SessionManager manager(model_.get(), ManagerOptions(dir, /*k=*/1));
+  SessionManager manager(registry_.get(), ManagerOptions(dir, /*k=*/1));
 
   // Standalone reference for alice, same seeds.
-  ExplorationSession reference(model_.get(), 1);
+  ExplorationSession reference(model_, 1);
   reference.SeedRng(7);
   ASSERT_TRUE(reference
                   .StartExploration(UserLabels(0), Variant::kMetaStar,
@@ -244,7 +247,7 @@ TEST_F(SessionManagerTest, CreateEvictRestoreRoundTrip) {
 // and its pointer valid while another user barges in.
 TEST_F(SessionManagerTest, PinnedSessionIsNotEvicted) {
   const std::string dir = TestDir("a");
-  SessionManager manager(model_.get(), ManagerOptions(dir, /*k=*/1));
+  SessionManager manager(registry_.get(), ManagerOptions(dir, /*k=*/1));
 
   SessionManager::Lease alice;
   ASSERT_TRUE(manager.Acquire("alice", &alice).ok());
@@ -282,7 +285,7 @@ TEST_F(SessionManagerTest, ChurnByteIdenticalUnderEviction) {
   constexpr int64_t kThreads = 4;
 
   // All-resident baseline, sequential.
-  SessionManager baseline(model_.get(),
+  SessionManager baseline(registry_.get(),
                           ManagerOptions(TestDir("baseline"), kUsers));
   std::vector<Outcome> expected(kUsers);
   for (int64_t u = 0; u < kUsers; ++u) {
@@ -296,7 +299,7 @@ TEST_F(SessionManagerTest, ChurnByteIdenticalUnderEviction) {
   // Churning manager: K = 4 of N = 32, users sharded across threads (u % 4)
   // so each user's own visits stay ordered while cross-user interleaving —
   // and therefore the eviction schedule — is up to the scheduler.
-  SessionManager churn(model_.get(), ManagerOptions(TestDir("churn"), 4));
+  SessionManager churn(registry_.get(), ManagerOptions(TestDir("churn"), 4));
   std::vector<Outcome> observed(kUsers);
   std::vector<std::thread> threads;
   for (int64_t t = 0; t < kThreads; ++t) {
@@ -334,7 +337,7 @@ TEST_F(SessionManagerTest, StaleTmpNeverShadowsCheckpoint) {
   const std::string dir = TestDir("a");
   Outcome expected;
   {
-    SessionManager manager(model_.get(), ManagerOptions(dir, /*k=*/4));
+    SessionManager manager(registry_.get(), ManagerOptions(dir, /*k=*/4));
     for (int64_t v = 0; v < 3; ++v) RunVisit(&manager, 0, v);
     SessionManager::Lease lease;
     ASSERT_TRUE(manager.Acquire(UserId(0), &lease).ok());
@@ -350,7 +353,7 @@ TEST_F(SessionManagerTest, StaleTmpNeverShadowsCheckpoint) {
   }
 
   // A new process adopts the durable checkpoint and ignores the .tmp.
-  SessionManager restarted(model_.get(), ManagerOptions(dir, /*k=*/1));
+  SessionManager restarted(registry_.get(), ManagerOptions(dir, /*k=*/1));
   {
     SessionManager::Lease lease;
     ASSERT_TRUE(restarted.Acquire(UserId(0), &lease).ok());
@@ -371,7 +374,7 @@ TEST_F(SessionManagerTest, StaleTmpNeverShadowsCheckpoint) {
 // session attached to garbage — and the manager keeps serving other users.
 TEST_F(SessionManagerTest, CorruptedCheckpointFailsCleanly) {
   const std::string dir = TestDir("a");
-  SessionManager manager(model_.get(), ManagerOptions(dir, /*k=*/2));
+  SessionManager manager(registry_.get(), ManagerOptions(dir, /*k=*/2));
   std::filesystem::create_directories(dir);
   {
     std::ofstream corrupt(manager.CheckpointPath("eve"), std::ios::binary);
@@ -398,17 +401,18 @@ TEST_F(SessionManagerTest, CorruptedCheckpointFailsCleanly) {
 TEST_F(SessionManagerTest, RestoreAgainstRefreshedModelIsRefused) {
   const std::string dir = TestDir("a");
   {
-    SessionManager manager(model_.get(), ManagerOptions(dir, /*k=*/2));
+    SessionManager manager(registry_.get(), ManagerOptions(dir, /*k=*/2));
     for (int64_t v = 0; v < 2; ++v) RunVisit(&manager, 0, v);
     ASSERT_TRUE(manager.CheckpointAll().ok());
   }
-  ExplorationModel refreshed(SmallExplorerOptions());
+  auto refreshed = std::make_shared<ExplorationModel>(SmallExplorerOptions());
   Rng rng(24);
   ASSERT_TRUE(
-      refreshed.Pretrain(table_, subspaces_, /*train_meta=*/true, &rng).ok());
-  ASSERT_NE(refreshed.fingerprint(), model_->fingerprint());
+      refreshed->Pretrain(table_, subspaces_, /*train_meta=*/true, &rng).ok());
+  ASSERT_NE(refreshed->fingerprint(), model_->fingerprint());
 
-  SessionManager manager(&refreshed, ManagerOptions(dir, /*k=*/2));
+  ModelRegistry refreshed_registry(refreshed);
+  SessionManager manager(&refreshed_registry, ManagerOptions(dir, /*k=*/2));
   SessionManager::Lease lease;
   const Status st = manager.Acquire(UserId(0), &lease);
   EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
@@ -423,12 +427,12 @@ TEST_F(SessionManagerTest, RestoreAgainstRefreshedModelIsRefused) {
 TEST_F(SessionManagerTest, LeasesRouteThroughCoalescedScheduler) {
   constexpr int64_t kUsers = 4;
   const std::string dir = TestDir("a");
-  SessionManager manager(model_.get(), ManagerOptions(dir, /*k=*/2));
+  SessionManager manager(registry_.get(), ManagerOptions(dir, /*k=*/2));
   for (int64_t u = 0; u < kUsers; ++u) {
     for (int64_t v = 0; v < 2; ++v) RunVisit(&manager, u, v);
   }
 
-  CoalescedScanScheduler scheduler(model_.get(), &table_);
+  CoalescedScanScheduler scheduler(model_, &table_);
   std::vector<int64_t> rows(400);
   std::iota(rows.begin(), rows.end(), 0);
   std::vector<std::vector<double>> coalesced(kUsers);
@@ -458,7 +462,7 @@ TEST_F(SessionManagerTest, LeasesRouteThroughCoalescedScheduler) {
 // User ids name checkpoint files: traversal and hidden-file shapes are
 // rejected up front, and a null lease is an error, not a crash.
 TEST_F(SessionManagerTest, InvalidUserIdsAndNullLeaseAreRejected) {
-  SessionManager manager(model_.get(), ManagerOptions(TestDir("a"), 2));
+  SessionManager manager(registry_.get(), ManagerOptions(TestDir("a"), 2));
   SessionManager::Lease lease;
   for (const std::string& bad :
        {std::string(""), std::string("a/b"), std::string("../escape"),
@@ -474,10 +478,120 @@ TEST_F(SessionManagerTest, InvalidUserIdsAndNullLeaseAreRejected) {
   EXPECT_TRUE(manager.Acquire("A-z_0.9", &lease).ok());
 }
 
+// RemoveUser purges everything the manager holds for an id — resident
+// session, checkpoint, stale tmp — and the next acquire starts fresh.
+TEST_F(SessionManagerTest, RemoveUserPurgesSessionAndCheckpoint) {
+  const std::string dir = TestDir("a");
+  SessionManager manager(registry_.get(), ManagerOptions(dir, /*k=*/2));
+  for (int64_t v = 0; v < 2; ++v) RunVisit(&manager, 0, v);
+  ASSERT_TRUE(manager.CheckpointAll().ok());
+  ASSERT_TRUE(std::filesystem::exists(manager.CheckpointPath(UserId(0))));
+  ASSERT_EQ(manager.resident_count(), 1);
+
+  ASSERT_TRUE(manager.RemoveUser(UserId(0)).ok());
+  EXPECT_EQ(manager.resident_count(), 0);
+  EXPECT_FALSE(std::filesystem::exists(manager.CheckpointPath(UserId(0))));
+
+  // Removing an id with no state is a no-op, not an error.
+  EXPECT_TRUE(manager.RemoveUser(UserId(0)).ok());
+  EXPECT_EQ(manager.RemoveUser("../escape").code(),
+            StatusCode::kInvalidArgument);
+
+  // The user reconnects as a brand-new session (create, not restore).
+  const int64_t creates_before = manager.stats().creates;
+  SessionManager::Lease lease;
+  ASSERT_TRUE(manager.Acquire(UserId(0), &lease).ok());
+  EXPECT_EQ(manager.stats().creates, creates_before + 1);
+  EXPECT_EQ(manager.stats().restores, 0);
+}
+
+// A leased user cannot be removed out from under its request thread.
+TEST_F(SessionManagerTest, RemoveUserRefusesALeasedUser) {
+  SessionManager manager(registry_.get(), ManagerOptions(TestDir("a"), 2));
+  SessionManager::Lease lease;
+  ASSERT_TRUE(manager.Acquire("alice", &lease).ok());
+  EXPECT_EQ(manager.RemoveUser("alice").code(),
+            StatusCode::kFailedPrecondition);
+  lease.Release();
+  EXPECT_TRUE(manager.RemoveUser("alice").ok());
+}
+
+// SweepStaleCheckpoints purges exactly the checkpoints whose fingerprint
+// stamp no longer matches the registry's current model: stale ones go,
+// current ones and unreadable files stay.
+TEST_F(SessionManagerTest, SweepRemovesOnlyStaleCheckpoints) {
+  const std::string dir = TestDir("a");
+  SessionManager manager(registry_.get(), ManagerOptions(dir, /*k=*/4));
+  for (int64_t u = 0; u < 3; ++u) RunVisit(&manager, u, 0);
+  ASSERT_TRUE(manager.CheckpointAll().ok());
+
+  // Garbage that must survive any sweep: not a readable checkpoint.
+  const std::string garbage = dir + "/" + UserId(9) + ".ltesession";
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "not a checkpoint";
+  }
+
+  // Same model => nothing is stale.
+  int64_t removed = -1;
+  ASSERT_TRUE(manager.SweepStaleCheckpoints(&removed).ok());
+  EXPECT_EQ(removed, 0);
+  for (int64_t u = 0; u < 3; ++u) {
+    EXPECT_TRUE(std::filesystem::exists(manager.CheckpointPath(UserId(u))));
+  }
+
+  // Publish a refreshed model: every old-epoch checkpoint is now stale.
+  auto refreshed = std::make_shared<ExplorationModel>(SmallExplorerOptions());
+  Rng rng(24);
+  ASSERT_TRUE(
+      refreshed->Pretrain(table_, subspaces_, /*train_meta=*/true, &rng)
+          .ok());
+  registry_->Publish(refreshed);
+
+  ASSERT_TRUE(manager.SweepStaleCheckpoints(&removed).ok());
+  EXPECT_EQ(removed, 3);
+  for (int64_t u = 0; u < 3; ++u) {
+    EXPECT_FALSE(std::filesystem::exists(manager.CheckpointPath(UserId(u))));
+  }
+  EXPECT_TRUE(std::filesystem::exists(garbage));
+
+  // Swept users start fresh under the new epoch instead of tripping the
+  // stale-restore FailedPrecondition.
+  SessionManager::Lease lease;
+  ASSERT_TRUE(manager.Acquire(UserId(0), &lease).ok());
+}
+
+// Construction adopts the checkpoint directory: orphan `.ltesession.tmp`
+// files a crashed process left behind are unlinked, committed checkpoints
+// are untouched.
+TEST_F(SessionManagerTest, ConstructionUnlinksOrphanTmpFiles) {
+  const std::string dir = TestDir("a");
+  {
+    SessionManager manager(registry_.get(), ManagerOptions(dir, /*k=*/2));
+    RunVisit(&manager, 0, 0);
+    ASSERT_TRUE(manager.CheckpointAll().ok());
+  }
+  const std::string orphan1 = dir + "/" + UserId(0) + ".ltesession.tmp";
+  const std::string orphan2 = dir + "/" + UserId(7) + ".ltesession.tmp";
+  for (const std::string& path : {orphan1, orphan2}) {
+    std::ofstream out(path, std::ios::binary);
+    out << "dead tmp";
+  }
+
+  SessionManager restarted(registry_.get(), ManagerOptions(dir, /*k=*/2));
+  EXPECT_FALSE(std::filesystem::exists(orphan1));
+  EXPECT_FALSE(std::filesystem::exists(orphan2));
+  EXPECT_TRUE(
+      std::filesystem::exists(restarted.CheckpointPath(UserId(0))));
+  SessionManager::Lease lease;
+  ASSERT_TRUE(restarted.Acquire(UserId(0), &lease).ok());
+  EXPECT_EQ(restarted.stats().restores, 1);
+}
+
 // Re-acquiring into a held lease releases the old pin first, so a single
 // long-lived lease object cannot pin the whole cache.
 TEST_F(SessionManagerTest, ReacquireIntoHeldLeaseReleasesOldPin) {
-  SessionManager manager(model_.get(), ManagerOptions(TestDir("a"), 1));
+  SessionManager manager(registry_.get(), ManagerOptions(TestDir("a"), 1));
   SessionManager::Lease lease;
   ASSERT_TRUE(manager.Acquire("alice", &lease).ok());
   ASSERT_NE(lease.session(), nullptr);

@@ -64,7 +64,7 @@ class SessionPersistenceTest : public ::testing::Test {
     Rng rng(23);
     table_ = data::MakeBlobs(2500, 4, 5, &rng);
     subspaces_ = {data::Subspace{{0, 1}}, data::Subspace{{2, 3}}};
-    model_ = std::make_unique<ExplorationModel>(SmallExplorerOptions());
+    model_ = std::make_shared<ExplorationModel>(SmallExplorerOptions());
     Rng pretrain_rng(23);
     ASSERT_TRUE(model_
                     ->Pretrain(table_, subspaces_, /*train_meta=*/true,
@@ -136,7 +136,7 @@ class SessionPersistenceTest : public ::testing::Test {
   // section of the format: memories, history, and the FP/FN rebuild.
   std::string SavedMidExploration(Variant variant, int64_t threads,
                                   ScanPath path) {
-    ExplorationSession session(model_.get(), threads);
+    ExplorationSession session(model_, threads);
     session.set_scan_path(path);
     session.SeedRng(777);
     EXPECT_TRUE(
@@ -157,7 +157,7 @@ class SessionPersistenceTest : public ::testing::Test {
 
   data::Table table_;
   std::vector<data::Subspace> subspaces_;
-  std::unique_ptr<ExplorationModel> model_;
+  std::shared_ptr<ExplorationModel> model_;
 };
 
 // Save -> Load -> continue must be byte-identical to never having saved, for
@@ -168,7 +168,7 @@ TEST_F(SessionPersistenceTest, RoundTripContinuationMatchesUninterrupted) {
     for (const ScanPath path : {ScanPath::kColumnar, ScanPath::kRowAtATime}) {
       for (const int64_t save_threads : {int64_t{1}, int64_t{4}}) {
         // Uninterrupted reference: start, continue twice, serve.
-        ExplorationSession reference(model_.get(), save_threads);
+        ExplorationSession reference(model_, save_threads);
         reference.set_scan_path(path);
         reference.SeedRng(777);
         ASSERT_TRUE(reference
@@ -194,7 +194,7 @@ TEST_F(SessionPersistenceTest, RoundTripContinuationMatchesUninterrupted) {
         const Outcome expected = Serve(reference);
 
         for (const int64_t load_threads : {int64_t{1}, int64_t{4}}) {
-          ExplorationSession restored(model_.get(), load_threads);
+          ExplorationSession restored(model_, load_threads);
           restored.set_scan_path(path);
           std::istringstream in(saved, std::ios::binary);
           ASSERT_TRUE(restored.LoadFromStream(&in).ok());
@@ -234,11 +234,11 @@ TEST_F(SessionPersistenceTest, TruncationAtEveryByteFailsCleanly) {
   const std::string saved =
       SavedMidExploration(Variant::kMetaStar, 1, ScanPath::kColumnar);
   // Sanity: the intact stream loads.
-  ExplorationSession intact(model_.get(), 1);
+  ExplorationSession intact(model_, 1);
   std::istringstream full(saved, std::ios::binary);
   ASSERT_TRUE(intact.LoadFromStream(&full).ok());
 
-  ExplorationSession victim(model_.get(), 1);
+  ExplorationSession victim(model_, 1);
   victim.SeedRng(11);
   ASSERT_TRUE(victim
                   .StartExploration(UserLabels(1), Variant::kMeta,
@@ -266,7 +266,7 @@ TEST_F(SessionPersistenceTest, HeaderAndStampBitFlipsFailCleanly) {
     for (int bit = 0; bit < 8; ++bit) {
       std::string corrupt = saved;
       corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
-      ExplorationSession session(model_.get(), 1);
+      ExplorationSession session(model_, 1);
       std::istringstream in(corrupt, std::ios::binary);
       const Status st = session.LoadFromStream(&in);
       ASSERT_FALSE(st.ok()) << "flip of byte " << byte << " bit " << bit;
@@ -281,7 +281,7 @@ TEST_F(SessionPersistenceTest, HeaderAndStampBitFlipsFailCleanly) {
 // Garbage, too-short, and cross-format files all fail with an error Status.
 TEST_F(SessionPersistenceTest, GarbageAndWrongFormatFilesAreRejected) {
   const std::string dir = ::testing::TempDir();
-  ExplorationSession session(model_.get(), 1);
+  ExplorationSession session(model_, 1);
   EXPECT_EQ(session.Load(dir + "/does_not_exist.ltesession").code(),
             StatusCode::kIoError);
 
@@ -303,7 +303,7 @@ TEST_F(SessionPersistenceTest, GarbageAndWrongFormatFilesAreRejected) {
   const std::string model_path = dir + "/model.ltemodel";
   ASSERT_TRUE(model_->Save(model_path).ok());
   EXPECT_EQ(session.Load(model_path).code(), StatusCode::kInvalidArgument);
-  ExplorationSession donor(model_.get(), 1);
+  ExplorationSession donor(model_, 1);
   donor.SeedRng(5);
   ASSERT_TRUE(donor
                   .StartExploration(UserLabels(0), Variant::kBasic,
@@ -319,7 +319,7 @@ TEST_F(SessionPersistenceTest, GarbageAndWrongFormatFilesAreRejected) {
 // FailedPrecondition naming both fingerprints, and the destination session
 // keeps its previous state.
 TEST_F(SessionPersistenceTest, ModelMismatchRefusesLoad) {
-  ExplorationSession session(model_.get(), 1);
+  ExplorationSession session(model_, 1);
   session.SeedRng(3);
   ASSERT_TRUE(session
                   .StartExploration(UserLabels(0), Variant::kMetaStar,
@@ -329,33 +329,33 @@ TEST_F(SessionPersistenceTest, ModelMismatchRefusesLoad) {
   ASSERT_TRUE(session.Save(path).ok());
 
   // Model B: same data, different pretraining stream => different artifact.
-  ExplorationModel other(SmallExplorerOptions());
+  auto other = std::make_shared<ExplorationModel>(SmallExplorerOptions());
   Rng other_rng(24);
   ASSERT_TRUE(
-      other.Pretrain(table_, subspaces_, /*train_meta=*/true, &other_rng)
+      other->Pretrain(table_, subspaces_, /*train_meta=*/true, &other_rng)
           .ok());
-  ASSERT_NE(other.fingerprint(), model_->fingerprint());
+  ASSERT_NE(other->fingerprint(), model_->fingerprint());
 
-  ExplorationSession wrong(&other, 1);
+  ExplorationSession wrong(other, 1);
   const Status st = wrong.Load(path);
   ASSERT_EQ(st.code(), StatusCode::kFailedPrecondition);
   EXPECT_NE(st.message().find(HexU64(model_->fingerprint())),
             std::string::npos);
-  EXPECT_NE(st.message().find(HexU64(other.fingerprint())),
+  EXPECT_NE(st.message().find(HexU64(other->fingerprint())),
             std::string::npos);
   EXPECT_EQ(wrong.active_subspaces(), 0);
 
   // The right model still accepts the file — including a model restored
   // from its own artifact, which fingerprints identically by construction.
-  ExplorationSession right(model_.get(), 1);
+  ExplorationSession right(model_, 1);
   ASSERT_TRUE(right.Load(path).ok());
   EXPECT_TRUE(Serve(right) == Serve(session));
   const std::string model_path = ::testing::TempDir() + "/model_rt.ltemodel";
   ASSERT_TRUE(model_->Save(model_path).ok());
-  ExplorationModel reloaded(SmallExplorerOptions());
-  ASSERT_TRUE(reloaded.Load(model_path).ok());
-  EXPECT_EQ(reloaded.fingerprint(), model_->fingerprint());
-  ExplorationSession on_reloaded(&reloaded, 1);
+  auto reloaded = std::make_shared<ExplorationModel>(SmallExplorerOptions());
+  ASSERT_TRUE(reloaded->Load(model_path).ok());
+  EXPECT_EQ(reloaded->fingerprint(), model_->fingerprint());
+  ExplorationSession on_reloaded(reloaded, 1);
   EXPECT_TRUE(on_reloaded.Load(path).ok());
 }
 
@@ -404,13 +404,13 @@ TEST_F(SessionPersistenceTest, ExplorerFacadeSaveLoadAndMismatch) {
 // An unstarted session (rng only) round-trips, and the restored rng
 // continues the stream draw-for-draw.
 TEST_F(SessionPersistenceTest, UnstartedSessionRoundTripsWithRng) {
-  ExplorationSession session(model_.get(), 1);
+  ExplorationSession session(model_, 1);
   session.SeedRng(41);
   session.session_rng()->Uniform();  // Advance past the seed state.
   std::ostringstream out(std::ios::binary);
   ASSERT_TRUE(session.SaveToStream(&out).ok());
 
-  ExplorationSession restored(model_.get(), 1);
+  ExplorationSession restored(model_, 1);
   std::istringstream in(out.str(), std::ios::binary);
   ASSERT_TRUE(restored.LoadFromStream(&in).ok());
   EXPECT_EQ(restored.active_subspaces(), 0);
