@@ -4,6 +4,13 @@
 // Expected shape (paper): accuracy rises with budget for every method; DSM
 // is competitive at 2D (its convexity assumption fits) but degrades rapidly
 // with dimension, while Meta/Meta* dominate at 4-8D across all budgets.
+//
+// Extension (DESIGN.md §2f): a per-policy label-efficiency sweep — starting
+// from the smallest budget, the iterative protocol keeps acquiring labels
+// through each SuggestPolicy, tracing F1-vs-labels curves into the JSON
+// artifact. On the noise-free convex workload pure uncertainty sampling is
+// the one to beat; the sweep records how much exploration each alternative
+// pays for its robustness.
 
 #include "bench_common.h"
 #include "eval/report.h"
@@ -16,30 +23,47 @@ void Run() {
   PrintHeader("Figure 5: F1-score w.r.t. budget B at 2/4/6/8D (SDSS)");
 
   Rng rng(2);
-  data::Table sdss = data::MakeSdssLike(scale.sdss_rows, &rng);
-  eval::ExperimentRunner runner(std::move(sdss), SdssSubspaces(),
-                                BaseRunnerOptions(1, ConvexPsi()));
+  eval::RunnerOptions opt = BaseRunnerOptions(1, ConvexPsi());
+  if (SmokeMode()) {
+    opt.explorer.num_meta_tasks = 40;
+    opt.explorer.trainer.epochs = 1;
+    opt.eval_sample_rows = 400;
+  }
+  data::Table sdss =
+      data::MakeSdssLike(SmokeMode() ? 6000 : scale.sdss_rows, &rng);
+  eval::ExperimentRunner runner(std::move(sdss), SdssSubspaces(), opt);
   if (!runner.Init().ok()) {
     std::printf("runner init failed\n");
     return;
   }
 
-  const std::vector<eval::Method> methods = {
-      eval::Method::kDsm, eval::Method::kBasic, eval::Method::kMeta,
-      eval::Method::kMetaStar};
+  const std::vector<eval::Method> methods =
+      SmokeMode() ? std::vector<eval::Method>{eval::Method::kDsm,
+                                              eval::Method::kMeta}
+                  : std::vector<eval::Method>{
+                        eval::Method::kDsm, eval::Method::kBasic,
+                        eval::Method::kMeta, eval::Method::kMetaStar};
+  const std::vector<int64_t> budgets =
+      SmokeMode() ? std::vector<int64_t>(scale.budgets.begin(),
+                                         scale.budgets.begin() + 2)
+                  : scale.budgets;
+  const std::vector<int64_t> subspace_counts =
+      SmokeMode() ? std::vector<int64_t>{1, 2}
+                  : std::vector<int64_t>{1, 2, 3, 4};
+  const int64_t num_uirs = SmokeMode() ? 1 : scale.uirs_per_config;
 
-  for (int64_t num_subspaces : {1, 2, 3, 4}) {
+  for (int64_t num_subspaces : subspace_counts) {
     std::vector<eval::GroundTruthUir> uirs;
-    for (int64_t i = 0; i < scale.uirs_per_config; ++i) {
+    for (int64_t i = 0; i < num_uirs; ++i) {
       uirs.push_back(
           runner.GenerateUir({"convex", 1, ConvexPsi()}, num_subspaces));
     }
     std::vector<std::string> header = {"method"};
-    for (int64_t b : scale.budgets) header.push_back("B=" + std::to_string(b));
+    for (int64_t b : budgets) header.push_back("B=" + std::to_string(b));
     eval::TextTable table(header);
     for (eval::Method m : methods) {
       std::vector<double> row;
-      for (int64_t b : scale.budgets) {
+      for (int64_t b : budgets) {
         double f1 = 0.0;
         if (!runner.MeanF1(m, uirs, b, &f1).ok()) f1 = -1.0;
         row.push_back(f1);
@@ -49,6 +73,107 @@ void Run() {
     std::printf("\nFigure 5: %lldD user interest space\n",
                 static_cast<long long>(2 * num_subspaces));
     table.Print();
+  }
+
+  // Policy label-efficiency sweep: iterative acquisition from the smallest
+  // budget on the 2-subspace convex task (noise-free oracle).
+  const int64_t start_budget = budgets.front();
+  std::vector<eval::GroundTruthUir> sweep_uirs;
+  for (int64_t i = 0; i < num_uirs; ++i) {
+    sweep_uirs.push_back(runner.GenerateUir({"convex", 1, ConvexPsi()}, 2));
+  }
+  eval::PolicySweepOptions sweep;
+  sweep.variant = core::Variant::kMeta;
+  sweep.rounds = SmokeMode() ? 3 : 6;
+  sweep.batch = 5;
+  sweep.candidate_pool = SmokeMode() ? 120 : 200;
+
+  struct PolicyCurve {
+    std::string policy;
+    double final_f1 = 0.0;
+    std::vector<int64_t> labels;
+    std::vector<double> f1;
+  };
+  std::vector<policy::PolicyOptions> menu(5);
+  menu[0].kind = policy::PolicyKind::kUncertainty;
+  menu[1].kind = policy::PolicyKind::kEpsilonGreedy;
+  menu[1].epsilon = 0.2;
+  menu[2].kind = policy::PolicyKind::kTauFirst;
+  menu[2].tau = 10;
+  menu[3].kind = policy::PolicyKind::kSoftmax;
+  menu[4].kind = policy::PolicyKind::kBootstrap;
+
+  std::vector<PolicyCurve> curves;
+  for (size_t pi = 0; pi < menu.size(); ++pi) {
+    PolicyCurve curve;
+    curve.policy = policy::PolicyKindName(menu[pi].kind);
+    double sum_final = 0.0;
+    int64_t runs = 0;
+    for (size_t ui = 0; ui < sweep_uirs.size(); ++ui) {
+      sweep.policy = menu[pi];
+      sweep.session_seed = 0xF165u + 131 * ui + pi;
+      eval::PolicyTrajectory traj;
+      if (!runner.RunLteIterative(sweep, sweep_uirs[ui], start_budget, &traj)
+               .ok()) {
+        continue;
+      }
+      if (curve.labels.empty()) {
+        curve.labels = traj.labels;
+        curve.f1.assign(traj.f1.size(), 0.0);
+      }
+      for (size_t r = 0; r < traj.f1.size() && r < curve.f1.size(); ++r) {
+        curve.f1[r] += traj.f1[r];
+      }
+      sum_final += traj.final_f1;
+      ++runs;
+    }
+    if (runs > 0) {
+      for (double& v : curve.f1) v /= static_cast<double>(runs);
+      curve.final_f1 = sum_final / static_cast<double>(runs);
+    }
+    curves.push_back(std::move(curve));
+  }
+
+  eval::TextTable ptable({"policy", "start F1", "final F1", "labels"});
+  for (const PolicyCurve& c : curves) {
+    ptable.AddRow(c.policy,
+                  {c.f1.empty() ? 0.0 : c.f1.front(), c.final_f1,
+                   c.labels.empty() ? 0.0
+                                    : static_cast<double>(c.labels.back())});
+  }
+  std::printf("\nPolicy label-efficiency sweep (convex 4D, start B=%lld)\n",
+              static_cast<long long>(start_budget));
+  ptable.Print();
+
+  const std::string json_path = JsonOutputPath();
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("could not open %s for writing\n", json_path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig5_budget\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n",
+                 SmokeMode() ? "smoke" : (FullScale() ? "full" : "scaled"));
+    std::fprintf(f, "  \"start_budget\": %lld,\n",
+                 static_cast<long long>(start_budget));
+    std::fprintf(f, "  \"policy_sweep\": [\n");
+    for (size_t i = 0; i < curves.size(); ++i) {
+      const PolicyCurve& c = curves[i];
+      std::fprintf(f,
+                   "    {\"policy\": \"%s\", \"final_f1\": %.6f, "
+                   "\"curve\": [",
+                   c.policy.c_str(), c.final_f1);
+      for (size_t r = 0; r < c.labels.size(); ++r) {
+        std::fprintf(f, "{\"labels\": %lld, \"f1\": %.6f}%s",
+                     static_cast<long long>(c.labels[r]), c.f1[r],
+                     r + 1 < c.labels.size() ? ", " : "");
+      }
+      std::fprintf(f, "]}%s\n", i + 1 < curves.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote JSON results to %s\n", json_path.c_str());
   }
 }
 

@@ -2,15 +2,25 @@
 // protocol): real users mislabel tuples — misclicks, borderline judgements —
 // so a deployable explore-by-example system must degrade gracefully.
 //
-// Each method runs the standard generalized-UIR task (mode M1, 2-subspace
-// conjunction, B=30) while the simulated user flips each label with
-// probability p ∈ {0, 5%, 10%, 20%}.
+// Part 1 (methods): each method runs the standard generalized-UIR task (mode
+// M1, 2-subspace conjunction, B=30) while the simulated user flips each
+// label with probability p. Expected shape: the NN variants degrade smoothly
+// (SGD on BCE averages noise out); DSM is brittle — a single flipped
+// positive-region label poisons its convex polytope; Meta* keeps an edge
+// because the FP/FN optimizer's geometric consensus dampens individual
+// flips.
 //
-// Expected shape: the NN variants degrade smoothly (SGD on BCE averages
-// noise out); DSM is brittle — a single flipped *positive-region* label
-// poisons its convex polytope, and a flipped negative carves provably-wrong
-// cones; Meta* keeps an edge because the FP/FN optimizer's geometric
-// consensus over all positive centers dampens individual flips.
+// Part 2 (exploration policies, DESIGN.md §2f): the iterative
+// label-efficiency protocol sweeps every SuggestPolicy per noise level and
+// emits F1-vs-labels curves. Two invariants feed the CI regression gate:
+//   policy_bit_identical — every policy's full trajectory is bit-identical
+//     at session thread counts 1 and 4;
+//   bootstrap vs uncertainty under the noisiest oracle — the
+//     query-by-committee vote smooths single-model miscalibration, so
+//     bootstrap should hold or beat pure uncertainty sampling when labels
+//     are noisy.
+
+#include <cmath>
 
 #include "bench_common.h"
 #include "eval/report.h"
@@ -22,46 +32,224 @@ int64_t ScaledPsi(int64_t paper_psi) {
   return std::max<int64_t>(3, paper_psi * GetScale().k_u / 100);
 }
 
+std::vector<policy::PolicyOptions> PolicyMenu() {
+  std::vector<policy::PolicyOptions> menu(5);
+  menu[0].kind = policy::PolicyKind::kUncertainty;
+  menu[1].kind = policy::PolicyKind::kEpsilonGreedy;
+  menu[1].epsilon = 0.2;
+  menu[2].kind = policy::PolicyKind::kTauFirst;
+  menu[2].tau = 10;
+  menu[3].kind = policy::PolicyKind::kSoftmax;
+  menu[3].softmax_lambda = 12.0;
+  menu[4].kind = policy::PolicyKind::kBootstrap;
+  menu[4].bootstrap_bags = 16;
+  menu[4].bootstrap_sigma = 0.75;
+  return menu;
+}
+
+struct PolicyCell {
+  std::string policy;
+  double noise = 0.0;
+  double mean_final_f1 = 0.0;
+  // Mean curve over the UIRs: cumulative labels -> mean F1 per round.
+  std::vector<int64_t> labels;
+  std::vector<double> f1;
+};
+
+bool SameTrajectory(const eval::PolicyTrajectory& a,
+                    const eval::PolicyTrajectory& b) {
+  return a.labels == b.labels && a.f1 == b.f1 &&
+         a.total_labels == b.total_labels;
+}
+
 void Run() {
   const Scale scale = GetScale();
   PrintHeader("Label-noise robustness (extension study)");
   const int64_t b30 = scale.budgets.size() > 1 ? scale.budgets[1] : 30;
-  const std::vector<double> noise_levels = {0.0, 0.05, 0.10, 0.20};
+  const std::vector<double> noise_levels =
+      SmokeMode() ? std::vector<double>{0.0, 0.20}
+                  : std::vector<double>{0.0, 0.05, 0.10, 0.20};
+  const std::vector<eval::Method> methods =
+      SmokeMode() ? std::vector<eval::Method>{eval::Method::kMetaStar,
+                                              eval::Method::kDsm}
+                  : std::vector<eval::Method>{
+                        eval::Method::kMetaStar, eval::Method::kMeta,
+                        eval::Method::kBasic, eval::Method::kDsm};
+  const int64_t num_uirs = SmokeMode() ? 6 : 2 * scale.uirs_per_config;
 
+  // One runner (and so one trained model + one UIR family) per noise level,
+  // shared by every method and every policy at that level.
   std::vector<std::string> header = {"method"};
   for (double p : noise_levels) {
     header.push_back("noise=" + eval::FormatDouble(p, 2));
   }
   eval::TextTable table(header);
+  std::vector<std::vector<double>> method_f1(
+      methods.size(), std::vector<double>(noise_levels.size(), -1.0));
 
-  const std::vector<eval::Method> methods = {
-      eval::Method::kMetaStar, eval::Method::kMeta, eval::Method::kBasic,
-      eval::Method::kDsm};
-  for (eval::Method m : methods) {
-    std::vector<double> row;
-    for (double noise : noise_levels) {
-      Rng rng(31);
-      eval::RunnerOptions opt = BaseRunnerOptions(4, ScaledPsi(20), 311);
-      opt.label_noise = noise;
-      eval::ExperimentRunner runner(data::MakeSdssLike(scale.sdss_rows, &rng),
-                                    SdssSubspaces(), opt);
-      if (!runner.Init().ok()) {
-        row.push_back(-1);
-        continue;
-      }
-      std::vector<eval::GroundTruthUir> uirs;
-      for (int64_t i = 0; i < 2 * scale.uirs_per_config; ++i) {
-        uirs.push_back(runner.GenerateUir({"M1", 4, ScaledPsi(20)}, 2));
-      }
-      double f1 = 0.0;
-      if (!runner.MeanF1(m, uirs, b30, &f1).ok()) f1 = -1;
-      row.push_back(f1);
+  eval::PolicySweepOptions sweep;
+  sweep.variant = core::Variant::kMeta;
+  sweep.rounds = SmokeMode() ? 4 : 5;
+  sweep.batch = 10;
+  sweep.candidate_pool = 200;
+  std::vector<PolicyCell> cells;
+  bool policy_bit_identical = true;
+  double uncertainty_noise_f1 = -1.0;
+  double bootstrap_noise_f1 = -1.0;
+
+  for (size_t ni = 0; ni < noise_levels.size(); ++ni) {
+    const double noise = noise_levels[ni];
+    Rng rng(31);
+    eval::RunnerOptions opt = BaseRunnerOptions(4, ScaledPsi(20), 311);
+    opt.label_noise = noise;
+    if (SmokeMode()) {
+      opt.explorer.num_meta_tasks = 40;
+      opt.explorer.trainer.epochs = 1;
+      opt.eval_sample_rows = 400;
     }
-    table.AddRow(eval::MethodName(m), row);
+    eval::ExperimentRunner runner(
+        data::MakeSdssLike(SmokeMode() ? 6000 : scale.sdss_rows, &rng),
+        SdssSubspaces(), opt);
+    if (!runner.Init().ok()) {
+      std::printf("runner init failed at noise %.2f\n", noise);
+      continue;
+    }
+    std::vector<eval::GroundTruthUir> uirs;
+    for (int64_t i = 0; i < num_uirs; ++i) {
+      uirs.push_back(runner.GenerateUir({"M1", 4, ScaledPsi(20)}, 2));
+    }
+
+    for (size_t mi = 0; mi < methods.size(); ++mi) {
+      double f1 = 0.0;
+      if (runner.MeanF1(methods[mi], uirs, b30, &f1).ok()) {
+        method_f1[mi][ni] = f1;
+      }
+    }
+
+    // Policy sweep at this noise level: mean F1-vs-labels curve per policy.
+    for (const policy::PolicyOptions& popt : PolicyMenu()) {
+      PolicyCell cell;
+      cell.policy = policy::PolicyKindName(popt.kind);
+      cell.noise = noise;
+      double sum_final = 0.0;
+      int64_t runs = 0;
+      for (size_t ui = 0; ui < uirs.size(); ++ui) {
+        sweep.policy = popt;
+        sweep.session_seed = 0xBEC5u + 977 * ni + 131 * ui +
+                             static_cast<uint64_t>(popt.kind);
+        sweep.session_threads = 1;
+        eval::PolicyTrajectory traj;
+        if (!runner.RunLteIterative(sweep, uirs[ui], b30, &traj).ok()) {
+          continue;
+        }
+        // The determinism contract: the same sweep at 4 session threads
+        // reproduces the trajectory bit for bit (policies draw only from
+        // the session-owned rng; adaptation lanes use keyed splits).
+        sweep.session_threads = 4;
+        eval::PolicyTrajectory traj4;
+        if (!runner.RunLteIterative(sweep, uirs[ui], b30, &traj4).ok() ||
+            !SameTrajectory(traj, traj4)) {
+          policy_bit_identical = false;
+        }
+        if (cell.labels.empty()) {
+          cell.labels = traj.labels;
+          cell.f1.assign(traj.f1.size(), 0.0);
+        }
+        for (size_t r = 0; r < traj.f1.size() && r < cell.f1.size(); ++r) {
+          cell.f1[r] += traj.f1[r];
+        }
+        sum_final += traj.final_f1;
+        ++runs;
+      }
+      if (runs > 0) {
+        for (double& v : cell.f1) v /= static_cast<double>(runs);
+        cell.mean_final_f1 = sum_final / static_cast<double>(runs);
+      }
+      if (ni + 1 == noise_levels.size()) {
+        if (popt.kind == policy::PolicyKind::kUncertainty) {
+          uncertainty_noise_f1 = cell.mean_final_f1;
+        }
+        if (popt.kind == policy::PolicyKind::kBootstrap) {
+          bootstrap_noise_f1 = cell.mean_final_f1;
+        }
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  for (size_t mi = 0; mi < methods.size(); ++mi) {
+    table.AddRow(eval::MethodName(methods[mi]), method_f1[mi]);
   }
   std::printf("\nF1 w.r.t. label-noise probability (SDSS, B=%lld)\n",
               static_cast<long long>(b30));
   table.Print();
+
+  eval::TextTable ptable({"policy", "noise", "final F1", "labels"});
+  for (const PolicyCell& c : cells) {
+    ptable.AddRow(c.policy,
+                  {c.noise, c.mean_final_f1,
+                   c.labels.empty() ? 0.0
+                                    : static_cast<double>(c.labels.back())});
+  }
+  std::printf("\nExploration-policy sweep (iterative protocol, Meta, "
+              "%lld rounds x %lld labels/subspace/round)\n",
+              static_cast<long long>(sweep.rounds),
+              static_cast<long long>(sweep.batch));
+  ptable.Print();
+  std::printf("policies bit-identical across session threads {1,4}: %s\n",
+              policy_bit_identical ? "yes"
+                                   : "NO — determinism contract violated");
+  std::printf("noisiest oracle: bootstrap F1 %.4f vs uncertainty F1 %.4f\n",
+              bootstrap_noise_f1, uncertainty_noise_f1);
+
+  const std::string json_path = JsonOutputPath();
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("could not open %s for writing\n", json_path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"label_noise\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n",
+                 SmokeMode() ? "smoke" : (FullScale() ? "full" : "scaled"));
+    std::fprintf(f, "  \"budget\": %lld,\n", static_cast<long long>(b30));
+    std::fprintf(f, "  \"policy_bit_identical\": %s,\n",
+                 policy_bit_identical ? "true" : "false");
+    std::fprintf(f, "  \"uncertainty_noise_f1\": %.6f,\n",
+                 uncertainty_noise_f1);
+    std::fprintf(f, "  \"bootstrap_noise_f1\": %.6f,\n", bootstrap_noise_f1);
+    std::fprintf(f, "  \"bootstrap_holds_under_noise\": %s,\n",
+                 bootstrap_noise_f1 + 1e-9 >= uncertainty_noise_f1 ? "true"
+                                                                   : "false");
+    std::fprintf(f, "  \"methods\": [\n");
+    for (size_t mi = 0; mi < methods.size(); ++mi) {
+      std::fprintf(f, "    {\"method\": \"%s\"",
+                   eval::MethodName(methods[mi]).c_str());
+      for (size_t ni = 0; ni < noise_levels.size(); ++ni) {
+        std::fprintf(f, ", \"f1_noise_%02d\": %.6f",
+                     static_cast<int>(std::lround(noise_levels[ni] * 100)),
+                     method_f1[mi][ni]);
+      }
+      std::fprintf(f, "}%s\n", mi + 1 < methods.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"policy_sweep\": [\n");
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const PolicyCell& c = cells[i];
+      std::fprintf(f,
+                   "    {\"policy\": \"%s\", \"noise\": %.2f, "
+                   "\"final_f1\": %.6f, \"curve\": [",
+                   c.policy.c_str(), c.noise, c.mean_final_f1);
+      for (size_t r = 0; r < c.labels.size(); ++r) {
+        std::fprintf(f, "{\"labels\": %lld, \"f1\": %.6f}%s",
+                     static_cast<long long>(c.labels[r]), c.f1[r],
+                     r + 1 < c.labels.size() ? ", " : "");
+      }
+      std::fprintf(f, "]}%s\n", i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote JSON results to %s\n", json_path.c_str());
+  }
 }
 
 }  // namespace

@@ -7,8 +7,10 @@
 // labelled tuples back through the same local-update path, exactly like the
 // active-learning loops of AIDE/DSM but starting from meta-knowledge instead
 // of from scratch. Each round queries ExplorationSession::SuggestTuples
-// (uncertainty sampling on the adapted classifier) and a ConvergenceTracker
-// decides when the explored region has stabilized enough to stop.
+// through a configurable exploration policy (DESIGN.md §2f — here
+// epsilon-greedy over the adapted classifier's uncertainty) and a
+// ConvergenceTracker decides when the explored region has stabilized enough
+// to stop.
 
 #include <cstdio>
 
@@ -18,6 +20,7 @@
 
 #include "core/lte.h"
 #include "data/synthetic.h"
+#include "policy/suggest_policy.h"
 #include "eval/convergence.h"
 #include "eval/metrics.h"
 #include "preprocess/normalizer.h"
@@ -69,10 +72,20 @@ int main() {
     labels[0].push_back(y);
     labelled_y.push_back(y);
   }
+  // Stochastic exploration policies draw from the session-owned rng, so
+  // reruns (and save/restore) reproduce the same suggestions.
+  session.SeedRng(41);
   if (!session.StartExploration(labels, lte::core::Variant::kMeta, &rng)
            .ok()) {
     return 1;
   }
+  // Swap the acquisition strategy (default: pure uncertainty sampling).
+  // Epsilon-greedy keeps a 10% trickle of random candidates flowing so a
+  // miscalibrated early model cannot lock onto a wrong boundary.
+  lte::policy::PolicyOptions policy;
+  policy.kind = lte::policy::PolicyKind::kEpsilonGreedy;
+  policy.epsilon = 0.1;
+  if (!session.ConfigureSuggestPolicy(0, policy).ok()) return 1;
 
   auto evaluate = [&]() {
     lte::eval::ConfusionCounts counts;
@@ -100,8 +113,9 @@ int main() {
                                         /*stable_rounds=*/2);
   tracker.AddRound(probe_predictions());
 
-  // Rounds 1..5: iterative exploration. SuggestTuples ranks candidate rows
-  // by the adapted classifier's uncertainty; the user labels the top 10,
+  // Rounds 1..5: iterative exploration. SuggestTuples scores the candidate
+  // rows through the batch kernels and lets the configured policy pick 10
+  // worth labelling; the user labels them,
   // and ContinueExploration feeds the *cumulative* labelled set back
   // through the local-update path (training on only the newest batch would
   // let it dominate and forget the rest).

@@ -80,8 +80,14 @@ std::vector<size_t> ArgSmallestK(const std::vector<double>& values, size_t k) {
   LTE_CHECK_LE(k, values.size());
   std::vector<size_t> idx(values.size());
   std::iota(idx.begin(), idx.end(), size_t{0});
+  // Lexicographic (value, index) order: equal values keep ascending index, so
+  // callers that perturb scores (exploration policies) stay deterministic
+  // even when perturbed scores collide exactly.
   std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k), idx.end(),
-                    [&](size_t a, size_t b) { return values[a] < values[b]; });
+                    [&](size_t a, size_t b) {
+                      if (values[a] != values[b]) return values[a] < values[b];
+                      return a < b;
+                    });
   idx.resize(k);
   return idx;
 }

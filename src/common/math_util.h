@@ -40,8 +40,9 @@ double LogGaussianPdf(double x, double mean, double variance);
 /// Clamps x into [lo, hi].
 double Clamp(double x, double lo, double hi);
 
-/// Indices of the k smallest values of `values` (ascending by value).
-/// Requires k <= values.size().
+/// Indices of the k smallest values of `values`, ascending by
+/// (value, index) — equal values break toward the lower index, so the result
+/// is a deterministic function of the input. Requires k <= values.size().
 std::vector<size_t> ArgSmallestK(const std::vector<double>& values, size_t k);
 
 }  // namespace lte

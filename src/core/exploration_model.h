@@ -15,6 +15,7 @@
 #include "core/optimizer_fpfn.h"
 #include "data/subspace.h"
 #include "data/table.h"
+#include "policy/suggest_policy.h"
 #include "preprocess/tabular_encoder.h"
 
 namespace lte::core {
@@ -46,6 +47,11 @@ struct ExplorerOptions {
   int64_t online_steps = 30;
   int64_t online_batch_size = 16;
   double online_lr = 0.1;
+  /// Acquisition strategy new sessions install per subspace at
+  /// StartExploration (DESIGN.md §2f). A host knob like num_threads: not
+  /// part of the serialized model or its fingerprint, and overridable per
+  /// session/subspace via `ExplorationSession::ConfigureSuggestPolicy`.
+  policy::PolicyOptions suggest_policy;
 };
 
 /// The user-independent half of the LTE framework (paper Figure 2, offline

@@ -30,7 +30,17 @@ constexpr int64_t kScanChunkRows = kServingBlockRows;
 
 // Session file header (see DESIGN.md §2d "Session lifecycle").
 constexpr uint64_t kSessionMagic = 0x4C5445534553534EULL;  // "LTESESSN".
-constexpr uint64_t kSessionVersion = 1;
+// v1: variant/rng/per-subspace history + task models. v2 appends one
+// exploration-policy block per adapted subspace (DESIGN.md §2f); v1 files
+// still load, installing the default UncertaintyPolicy per subspace.
+constexpr uint64_t kSessionVersion = 2;
+constexpr uint64_t kOldestLoadableSessionVersion = 1;
+
+// Key-space offset separating the policy-construction streams from the
+// per-subspace adaptation streams (both split from the same fork base in
+// StartExploration). Any constant far outside [0, num_subspaces) works; the
+// golden-ratio word keeps the XORed keys far from small integers.
+constexpr uint64_t kPolicySeedKey = 0x9E3779B97F4A7C15ULL;
 
 std::string HexU64(uint64_t v) {
   char buf[19];
@@ -95,6 +105,11 @@ Status ExplorationSession::SaveToStream(std::ostream* out) const {
       w.WriteDoubleVector(batch.labels);
     }
     state.task_model->Save(&w);
+    // v2: the subspace's exploration policy — parameters and mutable state
+    // (tau counters, bootstrap bag seeds) — so a restored session keeps
+    // suggesting exactly where the saved one stopped.
+    w.WriteBool(state.policy != nullptr);
+    if (state.policy != nullptr) policy::SavePolicy(*state.policy, &w);
   }
   return w.status();
 }
@@ -130,7 +145,7 @@ Status ExplorationSession::PeekCheckpointFingerprint(const std::string& path,
     return Status::InvalidArgument(path + ": not an LTE session file");
   }
   LTE_RETURN_IF_ERROR(r.ReadU64(&version));
-  if (version != kSessionVersion) {
+  if (version < kOldestLoadableSessionVersion || version > kSessionVersion) {
     return Status::InvalidArgument(path + ": unsupported LTE session version " +
                                    std::to_string(version));
   }
@@ -166,7 +181,7 @@ Status ExplorationSession::LoadFromStreamImpl(std::istream* in) {
     return Status::InvalidArgument("not an LTE session file");
   }
   LTE_RETURN_IF_ERROR(r.ReadU64(&version));
-  if (version != kSessionVersion) {
+  if (version < kOldestLoadableSessionVersion || version > kSessionVersion) {
     return Status::InvalidArgument("unsupported LTE session version " +
                                    std::to_string(version));
   }
@@ -266,6 +281,27 @@ Status ExplorationSession::LoadFromStreamImpl(std::istream* in) {
       state.fpfn.emplace(generator.context(), center_labels,
                          model_->options().fpfn);
     }
+    if (version >= 2) {
+      bool has_policy = false;
+      LTE_RETURN_IF_ERROR(r.ReadBool(&has_policy));
+      if (has_policy) {
+        LTE_RETURN_IF_ERROR(policy::LoadPolicy(&r, &state.policy));
+        if (state.policy->stochastic() && !has_rng) {
+          // A legitimate save never produces this: installing a stochastic
+          // policy requires the session rng, and the rng is never dropped.
+          return Status::IoError(
+              "session load: stochastic policy without a session rng in "
+              "subspace " +
+              std::to_string(s));
+        }
+      }
+    }
+    if (state.policy == nullptr) {
+      // v1 files predate the policy layer: every adapted subspace ran pure
+      // uncertainty sampling, so the migration installs exactly that.
+      LTE_RETURN_IF_ERROR(
+          policy::MakePolicy(policy::PolicyOptions{}, nullptr, &state.policy));
+    }
   }
   // A well-formed file ends exactly at the payload boundary; trailing bytes
   // mean the header lied about the shape of what follows.
@@ -301,6 +337,15 @@ Status ExplorationSession::StartExploration(
   }
   if (rng == nullptr) {
     return Status::InvalidArgument("session: rng must not be null");
+  }
+  const policy::PolicyOptions& policy_options =
+      model_->options().suggest_policy;
+  LTE_RETURN_IF_ERROR(policy::ValidatePolicyOptions(policy_options));
+  if (policy_options.kind != policy::PolicyKind::kUncertainty &&
+      !rng_.has_value()) {
+    return Status::FailedPrecondition(
+        "session: stochastic suggest policy requires SeedRng — policy draws "
+        "are served from (and persisted with) the session-owned stream");
   }
   // Validate every label set before mutating any online state, so a failed
   // call leaves the previous exploration intact.
@@ -374,6 +419,17 @@ Status ExplorationSession::StartExploration(
         } else {
           state.fpfn.reset();
         }
+        // Install the model's default exploration policy. Seed material
+        // (bootstrap bag seeds) comes from the lane's own keyed split —
+        // kPolicySeedKey keeps it off the adaptation stream Fork(si), so the
+        // adapted models (and the caller's rng position) are byte-identical
+        // to a policy-less run, and identical at any thread count.
+        Rng policy_rng =
+            fork_base.Fork(kPolicySeedKey ^ static_cast<uint64_t>(si));
+        const Status policy_status =
+            policy::MakePolicy(policy_options, &policy_rng, &state.policy);
+        LTE_CHECK_MSG(policy_status.ok(),
+                      "policy construction failed after validation");
         // Persistence/audit record: the labels that produced this adapted
         // state (Save serializes them; Load rebuilds the FP/FN optimizer
         // from the center prefix).
@@ -384,15 +440,44 @@ Status ExplorationSession::StartExploration(
   for (size_t s = labels_per_subspace.size(); s < states_.size(); ++s) {
     states_[s].task_model.reset();
     states_[s].fpfn.reset();
+    states_[s].policy.reset();
     states_[s].start_labels.clear();
     states_[s].history.clear();
   }
   return Status::OK();
 }
 
+Status ExplorationSession::ConfigureSuggestPolicy(
+    int64_t s, const policy::PolicyOptions& options) {
+  if (s < 0 || s >= active_count_ ||
+      states_[static_cast<size_t>(s)].task_model == nullptr) {
+    return Status::FailedPrecondition(
+        "session: ConfigureSuggestPolicy on subspace " + std::to_string(s) +
+        " before StartExploration adapted it");
+  }
+  LTE_RETURN_IF_ERROR(policy::ValidatePolicyOptions(options));
+  if (options.kind != policy::PolicyKind::kUncertainty && !rng_.has_value()) {
+    return Status::FailedPrecondition(
+        "session: stochastic suggest policy requires SeedRng — policy draws "
+        "are served from (and persisted with) the session-owned stream");
+  }
+  // Construction seed material (bootstrap bag seeds) comes from the session
+  // rng: a sequential draw on the single-writer surface, persisted with the
+  // session, so a reconfigure is reproducible run-to-run and the installed
+  // policy survives Save/Load bit-identically.
+  return policy::MakePolicy(options, rng_.has_value() ? &*rng_ : nullptr,
+                            &states_[static_cast<size_t>(s)].policy);
+}
+
+const policy::SuggestPolicy* ExplorationSession::suggest_policy(
+    int64_t s) const {
+  if (s < 0 || static_cast<size_t>(s) >= states_.size()) return nullptr;
+  return states_[static_cast<size_t>(s)].policy.get();
+}
+
 Status ExplorationSession::SuggestTuples(
     int64_t s, const std::vector<std::vector<double>>& candidates, int64_t k,
-    std::vector<int64_t>* suggested) const {
+    std::vector<int64_t>* suggested) {
   if (suggested == nullptr) {
     return Status::InvalidArgument("session: suggested must not be null");
   }
@@ -406,24 +491,58 @@ Status ExplorationSession::SuggestTuples(
   if (k < 0) {
     return Status::InvalidArgument("session: k must be >= 0");
   }
-  const SubspaceSession& state = states_[static_cast<size_t>(s)];
+  SubspaceSession& state = states_[static_cast<size_t>(s)];
+  LTE_CHECK(state.policy != nullptr);
+  if (state.policy->stochastic() && !rng_.has_value()) {
+    return Status::FailedPrecondition(
+        "session: subspace " + std::to_string(s) +
+        " runs a stochastic suggest policy but the session has no rng — "
+        "call SeedRng first");
+  }
   const std::vector<int64_t>& attrs = model_->subspace(s)->attribute_indices;
-  Scratch scratch;
-  std::vector<double> uncertainty;
-  uncertainty.reserve(candidates.size());
+  const size_t width = attrs.size();
   for (const auto& point : candidates) {
-    if (point.size() != attrs.size()) {
+    if (point.size() != width) {
       return Status::InvalidArgument(
           "session: candidate width mismatch in subspace " +
           std::to_string(s));
     }
-    model_->encoder().EncodeProjectedInto(point, attrs, &scratch.encoded);
-    const double p = state.task_model->PredictProbability(scratch.encoded);
-    uncertainty.push_back(std::abs(p - 0.5));
   }
-  const size_t take = std::min(static_cast<size_t>(k), candidates.size());
-  const std::vector<size_t> idx = ArgSmallestK(uncertainty, take);
-  suggested->assign(idx.begin(), idx.end());
+  const auto n = static_cast<int64_t>(candidates.size());
+  if (n == 0) return Status::OK();
+
+  // Columnar scoring: transpose the candidates into per-attribute arrays so
+  // the same gather + batch-encode + batch-forward kernels as the scan path
+  // score the whole batch in one pass (bit-identical to the per-point
+  // encode/predict they replaced), into reused scratch — no per-call
+  // allocations once capacities reach steady state.
+  SuggestScratch& sc = suggest_scratch_;
+  sc.transposed.resize(width * candidates.size());
+  for (size_t j = 0; j < width; ++j) {
+    double* col = sc.transposed.data() + j * candidates.size();
+    for (size_t i = 0; i < candidates.size(); ++i) col[i] = candidates[i][j];
+  }
+  sc.columns.clear();
+  for (size_t j = 0; j < width; ++j) {
+    sc.columns.emplace_back(
+        std::span<const double>(sc.transposed.data() + j * candidates.size(),
+                                candidates.size()),
+        std::span<const data::ColumnSlice>{}, nullptr);
+  }
+  // The "table" is the candidate batch itself, so the gather selects every
+  // row — but the encode still wants real attribute ids for its per-column
+  // models, while our views are positional. EncodeGatheredInto indexes
+  // `columns` positionally and `attrs` by value, which is exactly this
+  // split: columns[j] holds the values of attribute attrs[j].
+  sc.rows.resize(candidates.size());
+  std::iota(sc.rows.begin(), sc.rows.end(), int64_t{0});
+  model_->encoder().EncodeGatheredInto(sc.columns, attrs, sc.rows,
+                                       &sc.encoded);
+  sc.probs.resize(candidates.size());
+  state.task_model->PredictProbabilityBatch(sc.encoded, n, &sc.batch,
+                                            sc.probs);
+  state.policy->Select(sc.probs, k, rng_.has_value() ? &*rng_ : nullptr,
+                       suggested);
   return Status::OK();
 }
 

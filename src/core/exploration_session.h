@@ -15,6 +15,7 @@
 #include "core/meta_learner.h"
 #include "core/optimizer_fpfn.h"
 #include "data/table.h"
+#include "policy/suggest_policy.h"
 
 namespace lte::core {
 
@@ -135,15 +136,34 @@ class ExplorationSession {
   int64_t active_subspaces() const { return active_count_; }
 
   /// Active-learning hook (paper Section III-B "Iterative exploration"):
-  /// ranks `candidates` (raw subspace-`s` points) by the adapted
-  /// classifier's uncertainty — probability closest to 0.5 — and stores the
-  /// indices of the `k` tuples most worth asking the user about next in
-  /// `*suggested` (fewer when `candidates` is smaller than `k`). Fails if
-  /// StartExploration has not adapted subspace `s`, `k` is negative, or a
-  /// candidate's width differs from the subspace's.
+  /// scores `candidates` (raw subspace-`s` points) through the columnar
+  /// batch encode + batch forward, then lets the subspace's exploration
+  /// policy (default: uncertainty sampling — probability closest to 0.5)
+  /// pick the `k` tuples most worth asking the user about next; their
+  /// indices land in `*suggested` in selection order (fewer when
+  /// `candidates` is smaller than `k`). Stochastic policies draw from the
+  /// session-owned rng (SeedRng), advancing it — which is why this is a
+  /// mutating call under the single-writer contract, like
+  /// ContinueExploration. Fails if StartExploration has not adapted subspace
+  /// `s`, `k` is negative, a candidate's width differs from the subspace's,
+  /// or the policy is stochastic and the session has no rng.
   Status SuggestTuples(int64_t s,
                        const std::vector<std::vector<double>>& candidates,
-                       int64_t k, std::vector<int64_t>* suggested) const;
+                       int64_t k, std::vector<int64_t>* suggested);
+
+  /// Replaces subspace `s`'s exploration policy (DESIGN.md §2f). The
+  /// subspace must have been adapted by StartExploration (which installs the
+  /// model's `options().suggest_policy` default). Construction seed material
+  /// for policies with randomized state (bootstrap bag seeds) is drawn from
+  /// the session rng, so a stochastic policy requires SeedRng first
+  /// (FailedPrecondition otherwise). The installed policy — parameters and
+  /// mutable state — persists with the session (checkpoint format v2).
+  Status ConfigureSuggestPolicy(int64_t s,
+                                const policy::PolicyOptions& options);
+
+  /// Subspace `s`'s installed policy, or nullptr when `s` is out of range or
+  /// not adapted.
+  const policy::SuggestPolicy* suggest_policy(int64_t s) const;
 
   /// Iterative exploration (paper Section III-B, "Other IDE Modules"):
   /// feeds additional labelled tuples of subspace `s` (raw subspace
@@ -302,6 +322,9 @@ class ExplorationSession {
   struct SubspaceSession {
     std::unique_ptr<TaskModel> task_model;
     std::optional<FpFnOptimizer> fpfn;
+    /// Acquisition strategy for SuggestTuples; non-null whenever task_model
+    /// is (installed by StartExploration, Load, or ConfigureSuggestPolicy).
+    std::unique_ptr<policy::SuggestPolicy> policy;
     std::vector<double> start_labels;
     std::vector<LabeledBatch> history;
   };
@@ -325,6 +348,20 @@ class ExplorationSession {
     std::vector<double> encoded;     // Survivors x width scratch matrix.
     std::vector<double> probs;       // One probability per survivor.
     std::vector<double> point;       // Raw point for the FP/FN refiner.
+    TaskModel::BatchScratch batch;
+  };
+
+  /// Reusable buffers for SuggestTuples: the candidate transpose (so the
+  /// columnar batch encode can gather straight from contiguous per-attribute
+  /// arrays), the encoded matrix, and the shared probability vector the
+  /// policy selects from. Capacities reach a steady state after the first
+  /// call, so an active-learning loop allocates nothing per round.
+  struct SuggestScratch {
+    std::vector<double> transposed;  // width x n, one column per attribute.
+    std::vector<data::ColumnView> columns;
+    std::vector<int64_t> rows;       // iota(n): candidate i is "row" i.
+    std::vector<double> encoded;
+    std::vector<double> probs;
     TaskModel::BatchScratch batch;
   };
 
@@ -361,6 +398,7 @@ class ExplorationSession {
   Variant variant_ = Variant::kBasic;
   ScanPath scan_path_ = ScanPath::kColumnar;
   std::optional<Rng> rng_;  // Session-owned stream; persisted when present.
+  SuggestScratch suggest_scratch_;  // Mutating-call scratch (single-writer).
 };
 
 }  // namespace lte::core

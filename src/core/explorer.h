@@ -118,16 +118,28 @@ class Explorer {
   int64_t active_subspaces() const { return session_.active_subspaces(); }
 
   /// Active-learning hook (paper Section III-B "Iterative exploration"):
-  /// ranks `candidates` (raw subspace-`s` points) by the adapted
-  /// classifier's uncertainty — probability closest to 0.5 — and stores the
-  /// indices of the `k` tuples most worth asking the user about next in
-  /// `*suggested` (fewer when `candidates` is smaller than `k`). Fails if
-  /// StartExploration has not adapted subspace `s`, `k` is negative, or a
-  /// candidate's width differs from the subspace's.
+  /// scores `candidates` (raw subspace-`s` points) through the batch
+  /// kernels, then lets the subspace's exploration policy (default:
+  /// uncertainty sampling) pick the `k` tuples most worth asking the user
+  /// about next; their indices land in `*suggested` in selection order
+  /// (fewer when `candidates` is smaller than `k`). Mutating under the
+  /// single-writer contract: stochastic policies advance the session rng.
+  /// Fails if StartExploration has not adapted subspace `s`, `k` is
+  /// negative, a candidate's width differs from the subspace's, or the
+  /// policy is stochastic and the session has no rng.
   Status SuggestTuples(int64_t s,
                        const std::vector<std::vector<double>>& candidates,
-                       int64_t k, std::vector<int64_t>* suggested) const {
+                       int64_t k, std::vector<int64_t>* suggested) {
     return session_.SuggestTuples(s, candidates, k, suggested);
+  }
+
+  /// Replaces subspace `s`'s exploration policy (the default comes from
+  /// `options().suggest_policy`). See
+  /// `ExplorationSession::ConfigureSuggestPolicy` for the rng and
+  /// persistence contract.
+  Status ConfigureSuggestPolicy(int64_t s,
+                                const policy::PolicyOptions& options) {
+    return session_.ConfigureSuggestPolicy(s, options);
   }
 
   /// Iterative exploration (paper Section III-B, "Other IDE Modules"):

@@ -149,6 +149,101 @@ Status ExperimentRunner::RunLte(core::Variant variant,
   return Status::OK();
 }
 
+Status ExperimentRunner::RunLteIterative(const PolicySweepOptions& sweep,
+                                         const GroundTruthUir& uir,
+                                         int64_t budget,
+                                         PolicyTrajectory* out) {
+  LTE_CHECK_MSG(initialized_, "runner: Init has not run");
+  if (out == nullptr) {
+    return Status::InvalidArgument("runner: out must not be null");
+  }
+  *out = PolicyTrajectory{};
+  if (sweep.rounds < 0 || sweep.batch <= 0 || sweep.candidate_pool <= 0) {
+    return Status::InvalidArgument("runner: bad iterative sweep shape");
+  }
+  const bool needs_meta = sweep.variant != core::Variant::kBasic;
+  LTE_RETURN_IF_ERROR(EnsureModel(budget, needs_meta));
+  const std::shared_ptr<core::ExplorationModel>& model =
+      models_.at(budget).model;
+
+  // Self-contained rng discipline: every draw below — session stream, label
+  // noise, candidate pools — derives from session_seed alone, never from
+  // the runner's shared rng, so a trajectory is a pure function of
+  // (uir, budget, sweep). The bench's policy_bit_identical gate leans on
+  // exactly that to compare trajectories across session thread counts.
+  Rng noise_rng = Rng(sweep.session_seed).Fork(0x4C4E);   // "LN".
+  Rng cand_rng = Rng(sweep.session_seed).Fork(0x4350);    // "CP".
+
+  const auto active = static_cast<int64_t>(uir.subspaces.size());
+  std::vector<std::vector<double>> labels(static_cast<size_t>(active));
+  int64_t labels_used = 0;
+  for (int64_t s = 0; s < active; ++s) {
+    for (const auto& tuple : *model->InitialTuples(s)) {
+      labels[static_cast<size_t>(s)].push_back(
+          MaybeFlip(uir.ContainsSubspacePoint(s, tuple) ? 1.0 : 0.0,
+                    options_.label_noise, &noise_rng));
+      ++labels_used;
+    }
+  }
+
+  core::ExplorationSession session(model, sweep.session_threads);
+  session.SeedRng(sweep.session_seed);
+  LTE_RETURN_IF_ERROR(
+      session.StartExploration(labels, sweep.variant, session.session_rng()));
+  for (int64_t s = 0; s < active; ++s) {
+    LTE_RETURN_IF_ERROR(session.ConfigureSuggestPolicy(s, sweep.policy));
+  }
+
+  ExperimentResult round_result;
+  const auto record = [&] {
+    Score(uir,
+          [&session](const std::vector<double>& row) {
+            return session.PredictRow(row).value_or(0.0);
+          },
+          &round_result);
+    out->labels.push_back(labels_used);
+    out->f1.push_back(round_result.f1);
+  };
+  record();
+
+  std::vector<std::vector<double>> candidates;
+  std::vector<int64_t> picked;
+  std::vector<std::vector<double>> picked_points;
+  std::vector<double> picked_labels;
+  for (int64_t round = 0; round < sweep.rounds; ++round) {
+    for (int64_t s = 0; s < active; ++s) {
+      const std::vector<int64_t>& attrs =
+          uir.subspaces[static_cast<size_t>(s)].attribute_indices;
+      const std::vector<int64_t> rows = data::SampleRowIndices(
+          normalized_table_, sweep.candidate_pool, &cand_rng);
+      candidates.clear();
+      for (int64_t r : rows) {
+        candidates.push_back(normalized_table_.RowProjected(r, attrs));
+      }
+      LTE_RETURN_IF_ERROR(
+          session.SuggestTuples(s, candidates, sweep.batch, &picked));
+      picked_points.clear();
+      picked_labels.clear();
+      for (int64_t i : picked) {
+        const auto& point = candidates[static_cast<size_t>(i)];
+        picked_points.push_back(point);
+        picked_labels.push_back(
+            MaybeFlip(uir.ContainsSubspacePoint(s, point) ? 1.0 : 0.0,
+                      options_.label_noise, &noise_rng));
+        ++labels_used;
+      }
+      if (!picked_points.empty()) {
+        LTE_RETURN_IF_ERROR(session.ContinueExploration(
+            s, picked_points, picked_labels, session.session_rng()));
+      }
+    }
+    record();
+  }
+  out->final_f1 = out->f1.back();
+  out->total_labels = labels_used;
+  return Status::OK();
+}
+
 Status ExperimentRunner::RunSubspaceSvm(bool encoded,
                                         const GroundTruthUir& uir,
                                         int64_t budget,

@@ -68,6 +68,35 @@ struct ExperimentResult {
   int64_t labels_used = 0;
 };
 
+/// Iterative label-efficiency protocol for the exploration-policy sweep
+/// (DESIGN.md §2f): StartExploration on the initial budget, then `rounds`
+/// active-learning rounds — sample `candidate_pool` rows, let the policy
+/// pick `batch` of them via SuggestTuples, label through the (noisy)
+/// oracle, ContinueExploration — recording F1 after every round.
+struct PolicySweepOptions {
+  policy::PolicyOptions policy;
+  core::Variant variant = core::Variant::kMeta;
+  int64_t rounds = 5;
+  int64_t batch = 5;
+  int64_t candidate_pool = 200;
+  /// Session thread override; the trajectory is bit-identical across values
+  /// (the bench's policy_bit_identical gate compares 1 vs 4).
+  int64_t session_threads = 1;
+  /// Seeds the session rng AND every harness-side draw (noise, candidate
+  /// pools), so a trajectory is a pure function of (uir, budget, sweep) —
+  /// independent of the runner's shared rng position.
+  uint64_t session_seed = 1234;
+};
+
+/// One policy's F1-vs-labels curve: entry i is the state after round i
+/// (entry 0 = right after StartExploration).
+struct PolicyTrajectory {
+  std::vector<int64_t> labels;  // Cumulative oracle labels consumed.
+  std::vector<double> f1;
+  double final_f1 = 0.0;
+  int64_t total_labels = 0;
+};
+
 /// Drives every experiment of the paper: owns the (normalized) dataset, an
 /// independent ground-truth UIR generator, the evaluation row sample, and a
 /// cache of pre-trained `ExplorationModel`s keyed by labelling budget (each
@@ -97,6 +126,14 @@ class ExperimentRunner {
   /// Runs one method against one UIR at one budget.
   Status Run(Method method, const GroundTruthUir& uir, int64_t budget,
              ExperimentResult* result);
+
+  /// Runs the iterative protocol above with the given exploration policy.
+  /// Reuses the cached model for `budget` (call after warming it, or let the
+  /// first call train it), so every policy in a sweep sees the same model
+  /// and the same initial tuples.
+  Status RunLteIterative(const PolicySweepOptions& sweep,
+                         const GroundTruthUir& uir, int64_t budget,
+                         PolicyTrajectory* out);
 
   /// Mean F1 of `method` over several UIRs at one budget.
   Status MeanF1(Method method, const std::vector<GroundTruthUir>& uirs,

@@ -1,0 +1,422 @@
+#include "policy/suggest_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace lte::policy {
+namespace {
+
+/// Uncertainty score: distance of P(interesting) from the decision boundary
+/// (smaller = more informative, matching ArgSmallestK's ascending order).
+double UncertaintyScore(double p) { return std::abs(p - 0.5); }
+
+/// Index of the untaken candidate with the lexicographically smallest
+/// (score, index) — the deterministic greedy pick every policy's
+/// exploitation arm shares. Requires at least one untaken candidate.
+int64_t GreedyPick(const std::vector<double>& scores,
+                   const std::vector<uint8_t>& taken) {
+  int64_t best = -1;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (taken[i]) continue;
+    if (best < 0 || scores[i] < scores[static_cast<size_t>(best)]) {
+      best = static_cast<int64_t>(i);
+    }
+  }
+  LTE_CHECK_GE(best, 0);
+  return best;
+}
+
+/// The j-th (0-based) untaken index in ascending index order — maps a
+/// uniform draw over the remaining candidates to a concrete index the same
+/// way regardless of selection history representation.
+int64_t NthUntaken(const std::vector<uint8_t>& taken, int64_t j) {
+  for (size_t i = 0; i < taken.size(); ++i) {
+    if (taken[i]) continue;
+    if (j == 0) return static_cast<int64_t>(i);
+    --j;
+  }
+  LTE_CHECK_MSG(false, "policy: uniform pick past the remaining candidates");
+  return -1;  // Unreachable.
+}
+
+class UncertaintyPolicy final : public SuggestPolicy {
+ public:
+  explicit UncertaintyPolicy(const PolicyOptions& options)
+      : SuggestPolicy(options) {}
+
+  PolicyKind kind() const override { return PolicyKind::kUncertainty; }
+  bool stochastic() const override { return false; }
+
+  void Select(std::span<const double> probs, int64_t k, Rng* /*rng*/,
+              std::vector<int64_t>* out) override {
+    out->clear();
+    std::vector<double> scores;
+    scores.reserve(probs.size());
+    for (double p : probs) scores.push_back(UncertaintyScore(p));
+    const size_t take =
+        std::min(static_cast<size_t>(std::max<int64_t>(k, 0)), scores.size());
+    for (size_t i : ArgSmallestK(scores, take)) {
+      out->push_back(static_cast<int64_t>(i));
+    }
+  }
+};
+
+class EpsilonGreedyPolicy final : public SuggestPolicy {
+ public:
+  explicit EpsilonGreedyPolicy(const PolicyOptions& options)
+      : SuggestPolicy(options) {}
+
+  PolicyKind kind() const override { return PolicyKind::kEpsilonGreedy; }
+  bool stochastic() const override { return true; }
+
+  void Select(std::span<const double> probs, int64_t k, Rng* rng,
+              std::vector<int64_t>* out) override {
+    out->clear();
+    const auto n = static_cast<int64_t>(probs.size());
+    const int64_t take = std::min(std::max<int64_t>(k, 0), n);
+    if (take == 0) return;
+    std::vector<double> scores;
+    scores.reserve(probs.size());
+    for (double p : probs) scores.push_back(UncertaintyScore(p));
+    std::vector<uint8_t> taken(probs.size(), 0);
+    for (int64_t slot = 0; slot < take; ++slot) {
+      const int64_t remaining = n - slot;
+      // One Bernoulli per slot, drawn even at epsilon = 0 so the rng
+      // consumption pattern does not depend on the parameter value; the
+      // epsilon = 0 *output* is exactly uncertainty sampling.
+      const int64_t pick = rng->Bernoulli(options_.epsilon)
+                               ? NthUntaken(taken, rng->UniformInt(remaining))
+                               : GreedyPick(scores, taken);
+      taken[static_cast<size_t>(pick)] = 1;
+      out->push_back(pick);
+    }
+  }
+};
+
+class TauFirstPolicy final : public SuggestPolicy {
+ public:
+  explicit TauFirstPolicy(const PolicyOptions& options)
+      : SuggestPolicy(options) {}
+
+  PolicyKind kind() const override { return PolicyKind::kTauFirst; }
+  bool stochastic() const override { return true; }
+
+  void Select(std::span<const double> probs, int64_t k, Rng* rng,
+              std::vector<int64_t>* out) override {
+    out->clear();
+    const auto n = static_cast<int64_t>(probs.size());
+    const int64_t take = std::min(std::max<int64_t>(k, 0), n);
+    if (take == 0) return;
+    // A batch straddling the tau boundary splits: the first
+    // tau - suggested_so_far slots stay uniform, the rest hand off to the
+    // greedy arm mid-call.
+    const int64_t random_slots = std::clamp<int64_t>(
+        options_.tau - suggested_so_far_, 0, take);
+    std::vector<double> scores;
+    scores.reserve(probs.size());
+    for (double p : probs) scores.push_back(UncertaintyScore(p));
+    std::vector<uint8_t> taken(probs.size(), 0);
+    for (int64_t slot = 0; slot < take; ++slot) {
+      const int64_t remaining = n - slot;
+      const int64_t pick = slot < random_slots
+                               ? NthUntaken(taken, rng->UniformInt(remaining))
+                               : GreedyPick(scores, taken);
+      taken[static_cast<size_t>(pick)] = 1;
+      out->push_back(pick);
+    }
+    suggested_so_far_ += take;
+  }
+
+  void SaveState(BinaryWriter* writer) const override {
+    writer->WriteI64(suggested_so_far_);
+  }
+
+  Status LoadState(BinaryReader* reader) override {
+    int64_t count = 0;
+    LTE_RETURN_IF_ERROR(reader->ReadI64(&count));
+    if (count < 0) {
+      return Status::IoError("policy load: negative tau-first counter");
+    }
+    suggested_so_far_ = count;
+    return Status::OK();
+  }
+
+ private:
+  /// Lifetime suggestion count — the exploration phase survives Save/Load.
+  int64_t suggested_so_far_ = 0;
+};
+
+class SoftmaxPolicy final : public SuggestPolicy {
+ public:
+  explicit SoftmaxPolicy(const PolicyOptions& options)
+      : SuggestPolicy(options) {}
+
+  PolicyKind kind() const override { return PolicyKind::kSoftmax; }
+  bool stochastic() const override { return true; }
+
+  void Select(std::span<const double> probs, int64_t k, Rng* rng,
+              std::vector<int64_t>* out) override {
+    out->clear();
+    const auto n = static_cast<int64_t>(probs.size());
+    const int64_t take = std::min(std::max<int64_t>(k, 0), n);
+    if (take == 0) return;
+    // Scores live in [0, 0.5], so the exponent is in [-lambda/2, 0]: no
+    // overflow, and underflow to an all-zero mass simply falls back to the
+    // greedy pick below.
+    std::vector<double> scores;
+    std::vector<double> weights;
+    scores.reserve(probs.size());
+    weights.reserve(probs.size());
+    for (double p : probs) {
+      const double s = UncertaintyScore(p);
+      scores.push_back(s);
+      weights.push_back(std::exp(-options_.softmax_lambda * s));
+    }
+    std::vector<uint8_t> taken(probs.size(), 0);
+    for (int64_t slot = 0; slot < take; ++slot) {
+      double total = 0.0;
+      for (size_t i = 0; i < weights.size(); ++i) {
+        if (!taken[i]) total += weights[i];
+      }
+      int64_t pick = -1;
+      if (total > 0.0) {
+        const double u = rng->Uniform(0.0, total);
+        double cum = 0.0;
+        for (size_t i = 0; i < weights.size(); ++i) {
+          if (taken[i]) continue;
+          cum += weights[i];
+          if (u < cum) {
+            pick = static_cast<int64_t>(i);
+            break;
+          }
+        }
+        // Floating-point edge: u landed on the accumulated total. Take the
+        // last remaining candidate (the one the < test just missed).
+        if (pick < 0) pick = NthUntaken(taken, n - slot - 1);
+      } else {
+        pick = GreedyPick(scores, taken);
+      }
+      taken[static_cast<size_t>(pick)] = 1;
+      out->push_back(pick);
+    }
+  }
+};
+
+class BootstrapPolicy final : public SuggestPolicy {
+ public:
+  BootstrapPolicy(const PolicyOptions& options, std::vector<uint64_t> seeds)
+      : SuggestPolicy(options), bag_seeds_(std::move(seeds)) {}
+
+  PolicyKind kind() const override { return PolicyKind::kBootstrap; }
+  bool stochastic() const override { return true; }
+
+  void Select(std::span<const double> probs, int64_t k, Rng* rng,
+              std::vector<int64_t>* out) override {
+    out->clear();
+    const auto n = static_cast<int64_t>(probs.size());
+    const int64_t take = std::min(std::max<int64_t>(k, 0), n);
+    if (take == 0) return;
+    // One session-rng draw keys this call's committee noise: bag b replays
+    // the keyed stream Rng(seed_b).Fork(call_key), a pure function of the
+    // persisted bag seed and the persisted session rng — so the vote is
+    // reproducible across thread counts and across a Save/Load boundary.
+    const uint64_t call_key = rng->engine()();
+    std::vector<double> logits;
+    logits.reserve(probs.size());
+    for (double p : probs) {
+      const double clamped = Clamp(p, 1e-12, 1.0 - 1e-12);
+      logits.push_back(std::log(clamped / (1.0 - clamped)));
+    }
+    // Each bag is a bias-perturbed copy of the task model: adding bag noise
+    // to the logit is exactly perturbing the classifier head's bias, so the
+    // committee reuses the one shared probability vector instead of running
+    // bags * candidates forward passes.
+    std::vector<int64_t> votes(probs.size(), 0);
+    for (const uint64_t seed : bag_seeds_) {
+      Rng bag_rng = Rng(seed).Fork(call_key);
+      for (size_t i = 0; i < logits.size(); ++i) {
+        if (logits[i] + bag_rng.Normal(0.0, options_.bootstrap_sigma) > 0.0) {
+          ++votes[i];
+        }
+      }
+    }
+    // Most-split vote first; ties fall back to the base uncertainty, then
+    // the candidate index, so perturbation-induced score collisions stay
+    // deterministic.
+    const auto bags = static_cast<double>(bag_seeds_.size());
+    std::vector<int64_t> order(probs.size());
+    std::iota(order.begin(), order.end(), int64_t{0});
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      const double sa =
+          std::abs(static_cast<double>(votes[static_cast<size_t>(a)]) / bags -
+                   0.5);
+      const double sb =
+          std::abs(static_cast<double>(votes[static_cast<size_t>(b)]) / bags -
+                   0.5);
+      if (sa != sb) return sa < sb;
+      const double ua = UncertaintyScore(probs[static_cast<size_t>(a)]);
+      const double ub = UncertaintyScore(probs[static_cast<size_t>(b)]);
+      if (ua != ub) return ua < ub;
+      return a < b;
+    });
+    out->assign(order.begin(), order.begin() + take);
+  }
+
+  void SaveState(BinaryWriter* writer) const override {
+    writer->WriteU64(bag_seeds_.size());
+    for (uint64_t seed : bag_seeds_) writer->WriteU64(seed);
+  }
+
+  Status LoadState(BinaryReader* reader) override {
+    uint64_t count = 0;
+    LTE_RETURN_IF_ERROR(reader->ReadU64(&count));
+    if (count != static_cast<uint64_t>(options_.bootstrap_bags)) {
+      return Status::IoError(
+          "policy load: bootstrap seed count disagrees with bag count");
+    }
+    std::vector<uint64_t> seeds(static_cast<size_t>(count));
+    for (uint64_t& seed : seeds) LTE_RETURN_IF_ERROR(reader->ReadU64(&seed));
+    bag_seeds_ = std::move(seeds);
+    return Status::OK();
+  }
+
+ private:
+  /// One seed per committee member, drawn once at construction (and restored
+  /// verbatim by LoadState): the bag's identity across the session lifetime.
+  std::vector<uint64_t> bag_seeds_;
+};
+
+/// Shell construction for LoadPolicy (state arrives from the stream).
+std::unique_ptr<SuggestPolicy> NewPolicyShell(const PolicyOptions& options) {
+  switch (options.kind) {
+    case PolicyKind::kUncertainty:
+      return std::make_unique<UncertaintyPolicy>(options);
+    case PolicyKind::kEpsilonGreedy:
+      return std::make_unique<EpsilonGreedyPolicy>(options);
+    case PolicyKind::kTauFirst:
+      return std::make_unique<TauFirstPolicy>(options);
+    case PolicyKind::kSoftmax:
+      return std::make_unique<SoftmaxPolicy>(options);
+    case PolicyKind::kBootstrap:
+      return std::make_unique<BootstrapPolicy>(options,
+                                               std::vector<uint64_t>{});
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kUncertainty:
+      return "uncertainty";
+    case PolicyKind::kEpsilonGreedy:
+      return "epsilon_greedy";
+    case PolicyKind::kTauFirst:
+      return "tau_first";
+    case PolicyKind::kSoftmax:
+      return "softmax";
+    case PolicyKind::kBootstrap:
+      return "bootstrap";
+  }
+  return "?";
+}
+
+Status ValidatePolicyOptions(const PolicyOptions& options) {
+  if (options.kind > PolicyKind::kBootstrap) {
+    return Status::InvalidArgument("policy: unknown kind");
+  }
+  if (!std::isfinite(options.epsilon) || options.epsilon < 0.0 ||
+      options.epsilon > 1.0) {
+    return Status::InvalidArgument("policy: epsilon must be in [0, 1]");
+  }
+  if (options.tau < 0) {
+    return Status::InvalidArgument("policy: tau must be >= 0");
+  }
+  if (!std::isfinite(options.softmax_lambda) || options.softmax_lambda < 0.0) {
+    return Status::InvalidArgument(
+        "policy: softmax_lambda must be finite and >= 0");
+  }
+  if (options.bootstrap_bags < 1 || options.bootstrap_bags > 1024) {
+    return Status::InvalidArgument(
+        "policy: bootstrap_bags must be in [1, 1024]");
+  }
+  if (!std::isfinite(options.bootstrap_sigma) ||
+      options.bootstrap_sigma < 0.0) {
+    return Status::InvalidArgument(
+        "policy: bootstrap_sigma must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+void SuggestPolicy::SaveState(BinaryWriter* /*writer*/) const {}
+
+Status SuggestPolicy::LoadState(BinaryReader* /*reader*/) {
+  return Status::OK();
+}
+
+Status MakePolicy(const PolicyOptions& options, Rng* seed_rng,
+                  std::unique_ptr<SuggestPolicy>* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("policy: out must not be null");
+  }
+  LTE_RETURN_IF_ERROR(ValidatePolicyOptions(options));
+  if (options.kind == PolicyKind::kBootstrap) {
+    if (seed_rng == nullptr) {
+      return Status::FailedPrecondition(
+          "policy: bootstrap construction needs rng seed material");
+    }
+    std::vector<uint64_t> seeds(static_cast<size_t>(options.bootstrap_bags));
+    for (uint64_t& seed : seeds) seed = seed_rng->engine()();
+    *out = std::make_unique<BootstrapPolicy>(options, std::move(seeds));
+    return Status::OK();
+  }
+  *out = NewPolicyShell(options);
+  LTE_CHECK(*out != nullptr);
+  return Status::OK();
+}
+
+void SavePolicy(const SuggestPolicy& policy, BinaryWriter* writer) {
+  const PolicyOptions& opt = policy.options();
+  writer->WriteU64(static_cast<uint64_t>(policy.kind()));
+  writer->WriteDouble(opt.epsilon);
+  writer->WriteI64(opt.tau);
+  writer->WriteDouble(opt.softmax_lambda);
+  writer->WriteI64(opt.bootstrap_bags);
+  writer->WriteDouble(opt.bootstrap_sigma);
+  policy.SaveState(writer);
+}
+
+Status LoadPolicy(BinaryReader* reader, std::unique_ptr<SuggestPolicy>* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("policy: out must not be null");
+  }
+  uint64_t kind = 0;
+  LTE_RETURN_IF_ERROR(reader->ReadU64(&kind));
+  if (kind > static_cast<uint64_t>(PolicyKind::kBootstrap)) {
+    return Status::IoError("policy load: unknown policy kind " +
+                           std::to_string(kind));
+  }
+  PolicyOptions options;
+  options.kind = static_cast<PolicyKind>(kind);
+  LTE_RETURN_IF_ERROR(reader->ReadDouble(&options.epsilon));
+  LTE_RETURN_IF_ERROR(reader->ReadI64(&options.tau));
+  LTE_RETURN_IF_ERROR(reader->ReadDouble(&options.softmax_lambda));
+  LTE_RETURN_IF_ERROR(reader->ReadI64(&options.bootstrap_bags));
+  LTE_RETURN_IF_ERROR(reader->ReadDouble(&options.bootstrap_sigma));
+  const Status valid = ValidatePolicyOptions(options);
+  if (!valid.ok()) {
+    return Status::IoError("policy load: " + valid.message());
+  }
+  std::unique_ptr<SuggestPolicy> policy = NewPolicyShell(options);
+  LTE_CHECK(policy != nullptr);
+  LTE_RETURN_IF_ERROR(policy->LoadState(reader));
+  *out = std::move(policy);
+  return Status::OK();
+}
+
+}  // namespace lte::policy

@@ -1,0 +1,146 @@
+#ifndef LTE_POLICY_SUGGEST_POLICY_H_
+#define LTE_POLICY_SUGGEST_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace lte::policy {
+
+/// Which acquisition strategy `ExplorationSession::SuggestTuples` runs
+/// (DESIGN.md §2f "Exploration policies"). The menu follows the classic
+/// exploration-library catalog (epsilon-greedy, tau-first, softmax,
+/// bootstrap) on top of the paper's pure uncertainty sampling.
+enum class PolicyKind : uint64_t {
+  /// The paper's default: rank candidates by |P(interesting) - 0.5| and take
+  /// the k most uncertain. Fully deterministic; never draws from the rng.
+  kUncertainty = 0,
+  /// Uncertainty sampling, but each of the k slots is filled with a uniform
+  /// random (unpicked) candidate with probability epsilon — keeps a trickle
+  /// of off-boundary labels flowing so a miscalibrated classifier cannot
+  /// lock onto a wrong boundary.
+  kEpsilonGreedy = 1,
+  /// The first tau suggestions (across calls — the counter is policy state)
+  /// are uniform random; afterwards pure uncertainty. Frontloads unbiased
+  /// coverage of the subspace before trusting the adapted model.
+  kTauFirst = 2,
+  /// Samples k candidates without replacement with probability proportional
+  /// to exp(-lambda * |P - 0.5|): a temperature-controlled softening of
+  /// uncertainty sampling (lambda -> inf recovers it, lambda = 0 is uniform).
+  kSoftmax = 3,
+  /// Query-by-committee over a bag of perturbed task models: each bag
+  /// applies its own pseudo-random logit perturbation (equivalent to a
+  /// bias-perturbed copy of the classifier, so the shared batch probability
+  /// kernel is reused unchanged) and votes; candidates whose votes split
+  /// closest to even are suggested. The committee smooths single-model
+  /// miscalibration, which is exactly what noisy oracle labels produce — the
+  /// policy expected to win under label noise (bench_label_noise).
+  kBootstrap = 4,
+};
+
+/// Human-readable policy name ("uncertainty", "epsilon_greedy", ...), used
+/// by the bench JSON sweep axes and error messages.
+std::string PolicyKindName(PolicyKind kind);
+
+/// Strategy choice plus per-strategy parameters. Carried by
+/// `core::ExplorerOptions` (the default for new sessions; a host knob, never
+/// serialized with the model) and per session via
+/// `ExplorationSession::ConfigureSuggestPolicy`. Parameters are validated by
+/// `MakePolicy`/`ConfigureSuggestPolicy`, not at struct fill time.
+struct PolicyOptions {
+  PolicyKind kind = PolicyKind::kUncertainty;
+  /// kEpsilonGreedy: probability a slot is filled uniformly at random.
+  double epsilon = 0.1;
+  /// kTauFirst: number of uniform-random suggestions before handing off.
+  int64_t tau = 30;
+  /// kSoftmax: inverse temperature over the uncertainty score.
+  double softmax_lambda = 12.0;
+  /// kBootstrap: committee size (bag count).
+  int64_t bootstrap_bags = 8;
+  /// kBootstrap: stddev of each bag's logit perturbation.
+  double bootstrap_sigma = 1.0;
+};
+
+/// Returns OK iff the parameters are in range for the chosen kind (epsilon
+/// in [0, 1], tau >= 0, lambda >= 0, bags in [1, 1024], sigma >= 0, all
+/// finite).
+Status ValidatePolicyOptions(const PolicyOptions& options);
+
+/// One subspace's pluggable acquisition strategy: given the shared
+/// per-candidate probability vector (computed once by the session through
+/// the columnar batch kernels), selects the k tuples most worth labelling
+/// next.
+///
+/// Determinism contract: `Select` is sequential and draws only from the
+/// caller-supplied `Rng` (the session-owned stream), so a policy's
+/// suggestion sequence is bit-identical at any thread count and resumes
+/// draw-for-draw across a Save/Load (session format v2 persists both the
+/// rng and the policy state — see SaveState/LoadState). Policies whose
+/// `stochastic()` is false never touch the rng and work on sessions that
+/// never seeded one.
+///
+/// Thread-safety: single-writer, like the session's mutating calls — one
+/// policy instance belongs to one subspace of one session.
+class SuggestPolicy {
+ public:
+  virtual ~SuggestPolicy() = default;
+
+  SuggestPolicy(const SuggestPolicy&) = delete;
+  SuggestPolicy& operator=(const SuggestPolicy&) = delete;
+
+  virtual PolicyKind kind() const = 0;
+  const PolicyOptions& options() const { return options_; }
+
+  /// True when Select draws from the rng. The session maps a stochastic
+  /// policy with no session rng to FailedPrecondition before calling.
+  virtual bool stochastic() const = 0;
+
+  /// Stores the indices of the `k` candidates most worth labelling (fewer
+  /// when `probs` is smaller than `k`) in `*out`, in selection order.
+  /// `probs[i]` is the adapted classifier's P(interesting) for candidate i.
+  /// `rng` may be null iff `stochastic()` is false. Ties on equal scores
+  /// break toward the lower candidate index (see ArgSmallestK), so the
+  /// output is reproducible even when perturbed scores collide.
+  virtual void Select(std::span<const double> probs, int64_t k, Rng* rng,
+                      std::vector<int64_t>* out) = 0;
+
+  /// Serialization of the *mutable* policy state (tau counters, bootstrap
+  /// bag seeds) for session checkpoint format v2. The parameters travel in
+  /// the envelope written by `SavePolicy`; stateless policies write/read
+  /// nothing here.
+  virtual void SaveState(BinaryWriter* writer) const;
+  virtual Status LoadState(BinaryReader* reader);
+
+ protected:
+  explicit SuggestPolicy(const PolicyOptions& options) : options_(options) {}
+
+  PolicyOptions options_;
+};
+
+/// Instantiates the policy for one subspace. `seed_rng` supplies seed
+/// material for policies that pre-draw randomized construction state
+/// (bootstrap bag seeds); policies without such state never touch it, and it
+/// may then be null. Fails on out-of-range parameters
+/// (ValidatePolicyOptions) or a bootstrap construction without seed
+/// material.
+Status MakePolicy(const PolicyOptions& options, Rng* seed_rng,
+                  std::unique_ptr<SuggestPolicy>* out);
+
+/// Serialization envelope for session checkpoint format v2: kind, the full
+/// parameter block, then the kind-specific mutable state.
+void SavePolicy(const SuggestPolicy& policy, BinaryWriter* writer);
+
+/// Reconstructs a policy (parameters + state) written by SavePolicy,
+/// validating kind and parameters so a corrupted stream surfaces as an error
+/// Status instead of a malformed policy.
+Status LoadPolicy(BinaryReader* reader, std::unique_ptr<SuggestPolicy>* out);
+
+}  // namespace lte::policy
+
+#endif  // LTE_POLICY_SUGGEST_POLICY_H_

@@ -85,5 +85,18 @@ TEST(MathUtilTest, ArgSmallestKAll) {
   EXPECT_EQ(idx, (std::vector<size_t>{1, 2, 0}));
 }
 
+// Ties order lexicographically by (value, index): equal values keep
+// ascending index order, for any k cut through the tie group. Suggestion
+// policies lean on this — perturbed uncertainty scores collide routinely,
+// and the selection must still be reproducible.
+TEST(MathUtilTest, ArgSmallestKBreaksTiesByIndex) {
+  const std::vector<double> v = {2.0, 1.0, 2.0, 1.0, 0.5, 1.0};
+  EXPECT_EQ(ArgSmallestK(v, 6), (std::vector<size_t>{4, 1, 3, 5, 0, 2}));
+  // A cut straight through the tie group takes its lowest indices.
+  EXPECT_EQ(ArgSmallestK(v, 3), (std::vector<size_t>{4, 1, 3}));
+  EXPECT_EQ(ArgSmallestK(std::vector<double>(4, 7.0), 2),
+            (std::vector<size_t>{0, 1}));
+}
+
 }  // namespace
 }  // namespace lte

@@ -8,6 +8,11 @@
 //  * Model mismatch: a session saved against model A refuses to load against
 //    model B (FailedPrecondition, both fingerprints in the message),
 //    including through the legacy Explorer facade.
+//
+// Saved streams carry configured stateful exploration policies (tau-first +
+// bootstrap), so the round-trip and corruption batteries exercise the
+// format-v2 policy payload; see session_format_migration_test.cc for the
+// v1-compat and per-kind round-trip coverage.
 
 #include <gtest/gtest.h>
 
@@ -109,6 +114,29 @@ class SessionPersistenceTest : public ::testing::Test {
     }
   }
 
+  // Installs stateful exploration policies (format-v2 payload) and consumes
+  // a suggestion batch per subspace, so saved streams carry a mid-count
+  // tau-first counter, bootstrap bag seeds, and an advanced session rng.
+  // Called identically on the reference and the to-be-saved session, the
+  // policy draws stay in lockstep.
+  void ConfigurePoliciesAndSuggest(ExplorationSession* session) const {
+    policy::PolicyOptions tau;
+    tau.kind = policy::PolicyKind::kTauFirst;
+    tau.tau = 4;
+    EXPECT_TRUE(session->ConfigureSuggestPolicy(0, tau).ok());
+    policy::PolicyOptions boot;
+    boot.kind = policy::PolicyKind::kBootstrap;
+    boot.bootstrap_bags = 4;
+    EXPECT_TRUE(session->ConfigureSuggestPolicy(1, boot).ok());
+    std::vector<int64_t> suggested;
+    for (int64_t s = 0; s < 2; ++s) {
+      EXPECT_TRUE(
+          session->SuggestTuples(s, *model_->InitialTuples(s), 3, &suggested)
+              .ok());
+      EXPECT_EQ(suggested.size(), 3u);
+    }
+  }
+
   // One session's complete serving outcome, for exact comparison.
   struct Outcome {
     std::vector<double> predictions;
@@ -142,6 +170,7 @@ class SessionPersistenceTest : public ::testing::Test {
     EXPECT_TRUE(
         session.StartExploration(UserLabels(0), variant, session.session_rng())
             .ok());
+    ConfigurePoliciesAndSuggest(&session);
     std::vector<std::vector<double>> points;
     std::vector<double> labels;
     for (int64_t s = 0; s < 2; ++s) {
@@ -175,6 +204,7 @@ TEST_F(SessionPersistenceTest, RoundTripContinuationMatchesUninterrupted) {
                         .StartExploration(UserLabels(0), variant,
                                           reference.session_rng())
                         .ok());
+        ConfigurePoliciesAndSuggest(&reference);
         std::vector<std::vector<double>> points;
         std::vector<double> labels;
         for (int64_t s = 0; s < 2; ++s) {
