@@ -39,6 +39,41 @@ class MetricError(Exception):
     pass
 
 
+def values_equal(actual, expected):
+    """Type-aware equality for "equals" gates.
+
+    Python's == conflates bool with int (True == 1), so a baseline of
+    `true` would silently accept an artifact that emits `1` (and vice
+    versa) even though the bench changed its output type. Booleans only
+    match booleans; int and float cross-compare numerically (5 == 5.0 is
+    fine — JSON round-trips can change numeric representation); anything
+    else falls back to plain equality between same-typed values.
+    """
+    if isinstance(actual, bool) or isinstance(expected, bool):
+        return isinstance(actual, bool) and isinstance(expected, bool) and actual == expected
+    if isinstance(actual, (int, float)) and isinstance(expected, (int, float)):
+        return float(actual) == float(expected)
+    return type(actual) is type(expected) and actual == expected
+
+
+def field_matches(field, want):
+    """Matches one list-filter selector value against an element field.
+
+    Selector values arrive as strings; artifact fields are typed JSON.
+    Booleans match "true"/"false", numbers match numerically (so the
+    selector [threads=1] finds an element whose field is 1, 1.0, or "1"),
+    everything else falls back to string equality.
+    """
+    if isinstance(field, bool):
+        return want.lower() in ("true", "false") and field == (want.lower() == "true")
+    if isinstance(field, (int, float)):
+        try:
+            return float(field) == float(want)
+        except ValueError:
+            return False
+    return str(field) == want
+
+
 def resolve(doc, path):
     """Walks `doc` down a dotted selector path, filtering lists by [k=v,...]."""
     node = doc
@@ -58,7 +93,7 @@ def resolve(doc, path):
                 e
                 for e in node
                 if isinstance(e, dict)
-                and all(str(e.get(k)) == v for k, v in wanted.items())
+                and all(field_matches(e.get(k), v) for k, v in wanted.items())
             ]
             if len(hits) != 1:
                 raise MetricError(
@@ -94,7 +129,7 @@ def run_check(check, artifacts):
 
     if "equals" in check:
         expected = check["equals"]
-        status = "ok" if actual == expected else fail
+        status = "ok" if values_equal(actual, expected) else fail
         return (status, fmt(expected), fmt(actual), "exact")
 
     baseline = float(check["baseline"])

@@ -539,8 +539,10 @@ Status ExplorationSession::SuggestTuples(
   model_->encoder().EncodeGatheredInto(sc.columns, attrs, sc.rows,
                                        &sc.encoded);
   sc.probs.resize(candidates.size());
-  state.task_model->PredictProbabilityBatch(sc.encoded, n, &sc.batch,
-                                            sc.probs);
+  state.task_model->PredictProbabilityBatch(
+      sc.encoded, n, &sc.batch, sc.probs,
+      scan_path_ == ScanPath::kColumnarSimd ? nn::BatchKernel::kSimd
+                                            : nn::BatchKernel::kScalar);
   state.policy->Select(sc.probs, k, rng_.has_value() ? &*rng_ : nullptr,
                        suggested);
   return Status::OK();
@@ -673,8 +675,11 @@ void ExplorationSession::ScoreEncodedBlock(
   LTE_CHECK(state.task_model != nullptr);
   const auto count = static_cast<int64_t>(rows.size());
   LTE_CHECK(static_cast<int64_t>(out.size()) == count);
+  const nn::BatchKernel kernel = scan_path_ == ScanPath::kColumnarSimd
+                                     ? nn::BatchKernel::kSimd
+                                     : nn::BatchKernel::kScalar;
   state.task_model->PredictProbabilityBatch(encoded, count, batch_scratch,
-                                            out);
+                                            out, kernel);
   for (int64_t i = 0; i < count; ++i) {
     double pred = out[static_cast<size_t>(i)] > 0.5 ? 1.0 : 0.0;
     if (state.fpfn.has_value()) {
@@ -743,7 +748,7 @@ Status ExplorationSession::PredictRows(const data::Table& table,
   // shard keeps the hot loop free of per-row allocations.
   ThreadPool::Shared().ParallelForShards(
       0, n, ResolveThreadCount(num_threads()), [&](int64_t lo, int64_t hi) {
-        if (scan_path_ == ScanPath::kColumnar) {
+        if (scan_path_ != ScanPath::kRowAtATime) {
           BlockScratch scratch;
           for (int64_t b = lo; b < hi; b += kScanChunkRows) {
             const int64_t e = std::min(b + kScanChunkRows, hi);
@@ -796,7 +801,7 @@ Status ExplorationSession::RetrieveMatches(const data::Table& table,
         const int64_t lo = c * kScanChunkRows;
         const int64_t hi = std::min(lo + kScanChunkRows, num_rows);
         std::vector<int64_t> slot;
-        if (scan_path_ == ScanPath::kColumnar) {
+        if (scan_path_ != ScanPath::kRowAtATime) {
           BlockScratch scratch;
           std::vector<int64_t> block(static_cast<size_t>(hi - lo));
           std::iota(block.begin(), block.end(), lo);

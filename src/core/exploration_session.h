@@ -38,16 +38,28 @@ enum class Variant {
 };
 
 /// Which implementation backs the chunked table scans (`PredictRows`,
-/// `RetrieveMatches`). Both produce byte-identical output; the row path is
-/// retained as the validation/benchmark reference for the columnar fast
-/// path (see DESIGN.md §2b "Columnar serving path").
+/// `RetrieveMatches`). kColumnar and kRowAtATime produce byte-identical
+/// output; the row path is retained as the validation/benchmark reference
+/// for the columnar fast path (see DESIGN.md §2b "Columnar serving path").
+/// kColumnarSimd trades the byte-identity contract for throughput: it is
+/// gated by statistical parity instead (same match sets up to an epsilon of
+/// threshold-boundary rows), and stays opt-in.
 enum class ScanPath {
   /// Default: evaluate one subspace at a time over 1024-row blocks gathered
   /// straight from column views, with a survivor bitmask carrying the
-  /// conjunctive early-reject between subspaces.
+  /// conjunctive early-reject between subspaces. Scalar double kernels —
+  /// byte-identical to kRowAtATime.
   kColumnar,
   /// Reference: materialize each row and loop subspaces per row.
   kRowAtATime,
+  /// Opt-in throughput mode: the same block/survivor scan, but the batch
+  /// forward runs the float32 vector kernels (nn::BatchKernel::kSimd).
+  /// Deterministic — same inputs, same bits, at any thread count and in any
+  /// batch composition — but parity-gated rather than byte-identical to the
+  /// scalar paths: a row whose probability sits within float error of the
+  /// 0.5 threshold may flip. tests/columnar_scan_test.cc bounds the
+  /// mismatch fraction; bench_columnar_scan measures and gates it in CI.
+  kColumnarSimd,
 };
 
 /// One user's online exploration against a shared `ExplorationModel` (paper
@@ -280,10 +292,14 @@ class ExplorationSession {
   /// width — exactly what `TabularEncoder::EncodeGatheredInto` produces —
   /// with `rows[k]` the table row id of tuple k and `columns` the subspace's
   /// attribute column views (read only by the FP/FN refiner's raw-point
-  /// gather). `out[k]` is bit-identical to the row path's per-row verdict
-  /// for that tuple: the encode and the batch forward are both row-
-  /// independent, so it does not matter which other rows — or which other
-  /// sessions' rows — share the block (DESIGN.md §2c).
+  /// gather). Scoring uses this session's scan-path kernel (kColumnarSimd →
+  /// the float32 vector kernels, anything else → the scalar reference), so
+  /// the coalesced front-end automatically honors each subscriber's own
+  /// throughput choice inside one shared pass. `out[k]` is bit-identical to
+  /// the same-kernel standalone verdict for that tuple — and, on the scalar
+  /// kernel, to the row path's — because the encode and the batch forward
+  /// are both row-independent: it does not matter which other rows — or
+  /// which other sessions' rows — share the block (DESIGN.md §2c).
   ///
   /// Preconditions (LTE_CHECKed, not Status-mapped — callers are the scan
   /// paths and the scheduler, which validate via ValidateServing first):
@@ -296,13 +312,15 @@ class ExplorationSession {
                          std::vector<double>* point_scratch,
                          std::span<double> out) const;
 
-  /// Scan implementation behind PredictRows/RetrieveMatches. The default
-  /// kColumnar is the fast path; kRowAtATime keeps the reference
-  /// implementation reachable for validation and benchmarking. Results are
-  /// byte-identical either way (test-enforced), so this knob — like
-  /// num_threads — changes scheduling and speed, never output. Single-writer
-  /// like the mutating calls: do not flip it concurrently with this
-  /// session's queries.
+  /// Scan implementation behind PredictRows/RetrieveMatches (and the kernel
+  /// SuggestTuples scores candidates with). The default kColumnar is the
+  /// fast path; kRowAtATime keeps the reference implementation reachable for
+  /// validation and benchmarking — those two are byte-identical
+  /// (test-enforced), so flipping between them — like num_threads — changes
+  /// scheduling and speed, never output. kColumnarSimd is the opt-in
+  /// throughput mode: deterministic but parity-gated, not byte-identical
+  /// (see the ScanPath doc). Single-writer like the mutating calls: do not
+  /// flip it concurrently with this session's queries.
   ScanPath scan_path() const { return scan_path_; }
   void set_scan_path(ScanPath path) { scan_path_ = path; }
 

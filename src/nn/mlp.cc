@@ -1,11 +1,45 @@
 #include "nn/mlp.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
 #include "nn/activations.h"
+#include "nn/simd_kernels.h"
 
 namespace lte::nn {
+namespace {
+
+/// Validates a batch input's shape and returns the implied shared-head
+/// width. The modulo check runs before the width division: a ragged `x`
+/// whose size is not a multiple of `count` used to silently floor-divide
+/// into a garbage head width — now it aborts naming both sizes.
+int64_t CheckedBatchHeadWidth(size_t x_size, int64_t count,
+                              int64_t in_features, size_t prefix_size,
+                              int64_t first_layer_out) {
+  LTE_CHECK_GE(count, 0);
+  LTE_CHECK_MSG(
+      count == 0 || x_size % static_cast<size_t>(count) == 0,
+      ("batch forward: x.size()=" + std::to_string(x_size) +
+       " is not a multiple of count=" + std::to_string(count) +
+       " — ragged batch input")
+          .c_str());
+  // With a first-layer prefix, rows of x carry only the features after the
+  // shared head; the head's width is implied by the row width.
+  const int64_t head_w =
+      count > 0 ? in_features - static_cast<int64_t>(x_size) / count : 0;
+  if (prefix_size == 0) {
+    LTE_CHECK_EQ(static_cast<int64_t>(x_size), count * in_features);
+  } else {
+    LTE_CHECK_EQ(static_cast<int64_t>(prefix_size), first_layer_out);
+    LTE_CHECK_GE(head_w, 0);
+    LTE_CHECK_EQ(static_cast<int64_t>(x_size),
+                 count * (in_features - head_w));
+  }
+  return head_w;
+}
+
+}  // namespace
 
 Mlp::Mlp(const std::vector<int64_t>& layer_sizes, Rng* rng) {
   LTE_CHECK_GE(layer_sizes.size(), 2u);
@@ -46,20 +80,10 @@ void Mlp::ForwardBatchInto(std::span<const double> x, int64_t count,
                            BatchScratch* scratch, std::vector<double>* out,
                            std::span<const double> first_layer_prefix) const {
   LTE_CHECK(!layers_.empty());
-  LTE_CHECK_GE(count, 0);
-  // With a first-layer prefix, rows of x carry only the features after the
-  // shared head; the head's width is implied by the row width.
   const int64_t head_w =
-      count > 0 ? in_features() - static_cast<int64_t>(x.size()) / count : 0;
-  if (first_layer_prefix.empty()) {
-    LTE_CHECK_EQ(static_cast<int64_t>(x.size()), count * in_features());
-  } else {
-    LTE_CHECK_EQ(static_cast<int64_t>(first_layer_prefix.size()),
-                 layers_.front().out_features());
-    LTE_CHECK_GE(head_w, 0);
-    LTE_CHECK_EQ(static_cast<int64_t>(x.size()),
-                 count * (in_features() - head_w));
-  }
+      CheckedBatchHeadWidth(x.size(), count, in_features(),
+                            first_layer_prefix.size(),
+                            layers_.front().out_features());
   const double* in = x.data();
   for (size_t i = 0; i < layers_.size(); ++i) {
     const Linear& layer = layers_[i];
@@ -125,6 +149,58 @@ void Mlp::ForwardBatchInto(std::span<const double> x, int64_t count,
     }
     in = dst->data();
   }
+}
+
+void Mlp::ForwardBatchSimdInto(std::span<const double> x, int64_t count,
+                               BatchScratch* scratch, std::vector<double>* out,
+                               std::span<const double> first_layer_prefix)
+    const {
+  LTE_CHECK(!layers_.empty());
+  const int64_t head_w =
+      CheckedBatchHeadWidth(x.size(), count, in_features(),
+                            first_layer_prefix.size(),
+                            layers_.front().out_features());
+  out->resize(static_cast<size_t>(count * out_features()));
+  if (count == 0) return;
+  // Pack once into the transposed/padded float layout; every layer chains on
+  // it and only the final activations are unpacked back to row-major double.
+  const int64_t padded = simd::PaddedCount(count);
+  const int64_t data_w0 =
+      layers_.front().in_features() -
+      (first_layer_prefix.empty() ? int64_t{0} : head_w);
+  scratch->fa.resize(static_cast<size_t>(data_w0 * padded));
+  simd::PackTransposedFloat(x.data(), count, data_w0, padded,
+                            scratch->fa.data());
+  const float* in = scratch->fa.data();
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const Linear& layer = layers_[i];
+    const int64_t in_w = layer.in_features();
+    const int64_t out_w = layer.out_features();
+    const bool first = i == 0;
+    const bool last = i + 1 == layers_.size();
+    const int64_t skip = first && !first_layer_prefix.empty() ? head_w : 0;
+    const float* init = nullptr;
+    if (skip > 0) {
+      // The shared-head prefix seeds each accumulator chain, exactly where
+      // the scalar path resumes — converted to float once per call.
+      scratch->finit.resize(static_cast<size_t>(out_w));
+      for (int64_t o = 0; o < out_w; ++o) {
+        scratch->finit[static_cast<size_t>(o)] =
+            static_cast<float>(first_layer_prefix[static_cast<size_t>(o)]);
+      }
+      init = scratch->finit.data();
+    }
+    std::vector<float>* dst =
+        in == scratch->fa.data() ? &scratch->fb : &scratch->fa;
+    dst->resize(static_cast<size_t>(out_w * padded));
+    simd::LayerForwardTransposed(layer.weights().data().data(), in_w, skip,
+                                 in_w - skip, out_w, in, padded, init,
+                                 layer.bias().data(), /*relu=*/!last,
+                                 dst->data());
+    in = dst->data();
+  }
+  simd::UnpackTransposedToDouble(in, count, out_features(), padded,
+                                 out->data());
 }
 
 void Mlp::ComputeFirstLayerPrefix(std::span<const double> head,

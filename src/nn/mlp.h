@@ -11,6 +11,20 @@
 
 namespace lte::nn {
 
+/// Which kernel implementation backs the batched inference forwards.
+enum class BatchKernel {
+  /// Default: scalar double tiles, bit-identical to the row-at-a-time path
+  /// (the serving determinism contract). Always the reference.
+  kScalar,
+  /// Opt-in throughput mode: float32 arithmetic over a transposed/packed
+  /// layout with explicit vector kernels (nn/simd_kernels.h). Outputs are
+  /// statistically — not bitwise — equal to the scalar reference; callers
+  /// gate it with a parity test, never a byte-identity test. Deterministic
+  /// in its own right: the same inputs produce the same bits at any thread
+  /// count and in any batch composition.
+  kSimd,
+};
+
 /// A multi-layer perceptron: Linear -> ReLU -> ... -> Linear (no activation
 /// on the final layer; callers apply sigmoid / BCE-with-logits as needed).
 ///
@@ -45,10 +59,15 @@ class Mlp {
 
   /// Reusable ping-pong activation buffers for ForwardBatchInto. Capacities
   /// reach a steady state after the first block, so batched inference
-  /// allocates nothing per call.
+  /// allocates nothing per call. The float buffers are the kSimd
+  /// throughput-mode counterparts (transposed/packed layout); they stay
+  /// empty unless the SIMD path runs.
   struct BatchScratch {
     std::vector<double> a;
     std::vector<double> b;
+    std::vector<float> fa;      // Transposed float activations (ping).
+    std::vector<float> fb;      // Transposed float activations (pong).
+    std::vector<float> finit;   // Per-output float accumulator seeds.
   };
 
   /// Batch inference forward for the columnar serving path: `x` holds
@@ -71,6 +90,20 @@ class Mlp {
   void ForwardBatchInto(std::span<const double> x, int64_t count,
                         BatchScratch* scratch, std::vector<double>* out,
                         std::span<const double> first_layer_prefix = {}) const;
+
+  /// SIMD throughput-mode counterpart of ForwardBatchInto (BatchKernel
+  /// doc): same shapes, same `first_layer_prefix` contract, but the layers
+  /// run in float32 over a transposed/packed layout with explicit vector
+  /// kernels. Each output element still accumulates its dot product in
+  /// ascending input order, seeds from the (float-converted) prefix, adds
+  /// the bias last, and applies the same ReLU — the operation *order* of the
+  /// scalar reference at float precision — so outputs are statistically
+  /// close (parity-gated by callers) and fully deterministic, just not
+  /// bit-equal to the double path.
+  void ForwardBatchSimdInto(std::span<const double> x, int64_t count,
+                            BatchScratch* scratch, std::vector<double>* out,
+                            std::span<const double> first_layer_prefix = {})
+      const;
 
   /// Partial first-layer dot products of a shared input head:
   /// (*prefix)[o] = sum_{c < head.size()} weights0[o][c] * head[c],

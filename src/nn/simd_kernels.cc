@@ -1,0 +1,121 @@
+#include "nn/simd_kernels.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+// The kernels are written against GCC/Clang vector extensions: a fixed
+// 8 x f32 chunk type the compiler lowers to the target's native vectors
+// (AVX ymm, two SSE xmm, two NEON q-registers). This keeps the kernels
+// explicit about shape — broadcast weight times contiguous tuple lanes,
+// kAccChunks independent accumulator chunks — without committing to one
+// ISA's intrinsics. A scalar fallback with the identical per-element
+// operation order covers other compilers, so results never depend on which
+// path was compiled in.
+#if defined(__GNUC__) || defined(__clang__)
+#define LTE_SIMD_VECTOR_EXT 1
+#endif
+
+namespace lte::nn::simd {
+namespace {
+
+#if defined(LTE_SIMD_VECTOR_EXT)
+typedef float VecF __attribute__((vector_size(kFloatLanes * sizeof(float))));
+
+inline VecF LoadF(const float* p) {
+  VecF v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreF(float* p, VecF v) { std::memcpy(p, &v, sizeof(v)); }
+
+inline VecF BroadcastF(float x) {
+  return VecF{x, x, x, x, x, x, x, x};
+}
+#endif
+
+}  // namespace
+
+int64_t PaddedCount(int64_t count) {
+  constexpr int64_t kTile = kAccChunks * kFloatLanes;
+  return ((count + kTile - 1) / kTile) * kTile;
+}
+
+void PackTransposedFloat(const double* x, int64_t count, int64_t width,
+                         int64_t padded, float* xt) {
+  LTE_CHECK_GE(padded, count);
+  for (int64_t c = 0; c < width; ++c) {
+    float* col = xt + c * padded;
+    for (int64_t n = 0; n < count; ++n) {
+      col[n] = static_cast<float>(x[n * width + c]);
+    }
+    for (int64_t n = count; n < padded; ++n) col[n] = 0.0f;
+  }
+}
+
+void UnpackTransposedToDouble(const float* yt, int64_t count, int64_t width,
+                              int64_t padded, double* out) {
+  for (int64_t n = 0; n < count; ++n) {
+    for (int64_t o = 0; o < width; ++o) {
+      out[n * width + o] = static_cast<double>(yt[o * padded + n]);
+    }
+  }
+}
+
+void LayerForwardTransposed(const double* weights, int64_t w_stride,
+                            int64_t skip, int64_t data_w, int64_t out_w,
+                            const float* xt, int64_t padded, const float* init,
+                            const double* bias, bool relu, float* yt) {
+  constexpr int64_t kTile = kAccChunks * kFloatLanes;
+  LTE_CHECK_EQ(padded % kTile, 0);
+#if defined(LTE_SIMD_VECTOR_EXT)
+  const VecF zero = BroadcastF(0.0f);
+  for (int64_t o = 0; o < out_w; ++o) {
+    const double* w = weights + o * w_stride + skip;
+    const VecF seed = init != nullptr ? BroadcastF(init[o]) : zero;
+    const VecF b = bias != nullptr
+                       ? BroadcastF(static_cast<float>(bias[o]))
+                       : zero;
+    float* row = yt + o * padded;
+    for (int64_t n0 = 0; n0 < padded; n0 += kTile) {
+      VecF acc[kAccChunks];
+      for (int64_t t = 0; t < kAccChunks; ++t) acc[t] = seed;
+      const float* base = xt + n0;
+      for (int64_t c = 0; c < data_w; ++c) {
+        const VecF wc = BroadcastF(static_cast<float>(w[c]));
+        const float* col = base + c * padded;
+        for (int64_t t = 0; t < kAccChunks; ++t) {
+          acc[t] += wc * LoadF(col + t * kFloatLanes);
+        }
+      }
+      for (int64_t t = 0; t < kAccChunks; ++t) {
+        VecF s = acc[t] + b;
+        if (relu) s = s > zero ? s : zero;  // Lanewise blend (vector ?:).
+        StoreF(row + n0 + t * kFloatLanes, s);
+      }
+    }
+  }
+#else
+  // Scalar fallback: the exact lane-level arithmetic of the vector path —
+  // per element one ascending-c float chain seeded from init, bias after the
+  // dot, ReLU last — so both compilations produce identical bits.
+  for (int64_t o = 0; o < out_w; ++o) {
+    const double* w = weights + o * w_stride + skip;
+    const float seed = init != nullptr ? init[o] : 0.0f;
+    const float b = bias != nullptr ? static_cast<float>(bias[o]) : 0.0f;
+    float* row = yt + o * padded;
+    for (int64_t n = 0; n < padded; ++n) {
+      float acc = seed;
+      for (int64_t c = 0; c < data_w; ++c) {
+        acc += static_cast<float>(w[c]) * xt[c * padded + n];
+      }
+      float s = acc + b;
+      if (relu) s = s > 0.0f ? s : 0.0f;  // -0.0f -> +0.0f, like the blend.
+      row[n] = s;
+    }
+  }
+#endif
+}
+
+}  // namespace lte::nn::simd

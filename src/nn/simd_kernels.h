@@ -1,0 +1,65 @@
+#ifndef LTE_NN_SIMD_KERNELS_H_
+#define LTE_NN_SIMD_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lte::nn::simd {
+
+/// Float lanes the vector kernels process per register chunk. 8 x f32 is one
+/// AVX register on x86 and two NEON registers on aarch64; the kernels are
+/// written against GCC/Clang vector extensions, so the compiler lowers the
+/// chunk to whatever the target ISA provides (SSE2 splits it in two).
+inline constexpr int64_t kFloatLanes = 8;
+
+/// Accumulator chunks kept live per output row — the n-dimension tile is
+/// kAccChunks * kFloatLanes columns wide, so each broadcast weight is reused
+/// across 32 tuples and the FP-add latency chain is broken 32 ways.
+inline constexpr int64_t kAccChunks = 4;
+
+/// Columns every transposed buffer is padded to: a whole number of
+/// accumulator tiles, so the kernels never need a ragged-edge epilogue. The
+/// pad columns are zero-filled and their outputs are never read back.
+int64_t PaddedCount(int64_t count);
+
+/// Packs a row-major double matrix (`count` rows of `width`) into the
+/// transposed float layout the kernels consume: `xt[c * padded + n]` =
+/// `float(x[n * width + c])`, with columns `count..padded` zeroed. `xt` must
+/// hold `width * padded` floats.
+void PackTransposedFloat(const double* x, int64_t count, int64_t width,
+                         int64_t padded, float* xt);
+
+/// Unpacks the transposed float layout back into row-major doubles:
+/// `out[n * width + o] = double(yt[o * padded + n])` for `n < count`.
+void UnpackTransposedToDouble(const float* yt, int64_t count, int64_t width,
+                              int64_t padded, double* out);
+
+/// One dense layer over the transposed layout — the throughput-mode
+/// counterpart of the scalar tile loop in `Mlp::ForwardBatchInto`:
+///
+///   yt[o * padded + n] = act( init[o]
+///                             + sum_c weights[o * w_stride + skip + c]
+///                                     * xt[c * padded + n]
+///                             + (bias != nullptr ? bias[o] : 0) )
+///
+/// for o in [0, out_w), n in [0, padded), c ascending in [0, data_w), with
+/// act = ReLU when `relu` and identity otherwise. `init` (per-output
+/// starting accumulator, e.g. a folded constant-head prefix; nullptr = 0)
+/// seeds the chain and `bias` is added after the full dot product — the same
+/// element-level operation order as the scalar reference, so the only
+/// difference from the bit-exact path is float32 arithmetic. Weights and
+/// bias stay double and are converted on the fly: one convert per (o, c),
+/// amortized over the whole n-tile by the broadcast.
+///
+/// Each output element's sum is a single ascending-c chain — vectorization
+/// runs across n (independent tuples), never inside one element's
+/// accumulation — so results are deterministic: independent of padding,
+/// tiling, thread count, and of which other rows share the batch.
+void LayerForwardTransposed(const double* weights, int64_t w_stride,
+                            int64_t skip, int64_t data_w, int64_t out_w,
+                            const float* xt, int64_t padded, const float* init,
+                            const double* bias, bool relu, float* yt);
+
+}  // namespace lte::nn::simd
+
+#endif  // LTE_NN_SIMD_KERNELS_H_
